@@ -1,0 +1,14 @@
+"""Figure 1: dense INT8 SA energy breakdown at typical sparsity."""
+
+from repro.eval import fig1_energy_breakdown
+
+
+def test_bench_fig1(benchmark, save_result):
+    result = benchmark(fig1_energy_breakdown)
+    save_result(result)
+    shares = {row[0]: row[1] for row in result.rows}
+    benchmark.extra_info.update(shares)
+    # Paper: SRAM 21 / buffers 49 / MAC 20 / act fn 10.
+    assert abs(shares["PE-array buffers (operands+acc)"] - 49) < 6
+    assert abs(shares["MAC datapath"] - 20) < 5
+    assert abs(shares["SRAM buffers"] - 21) < 5

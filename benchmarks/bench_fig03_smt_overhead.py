@@ -1,0 +1,16 @@
+"""Figure 3: SMT staging-FIFO energy/area overhead and speedup."""
+
+from repro.eval import fig3_smt_overhead
+
+
+def test_bench_fig3(benchmark, save_result):
+    result = benchmark(fig3_smt_overhead)
+    save_result(result)
+    energy = {row[0]: row[1] for row in result.rows}
+    speedup = {row[0]: row[5] for row in result.rows}
+    benchmark.extra_info["smt_t2q2_energy_vs_zvcg"] = energy["SMT-T2Q2"]
+    # SMT is faster but burns more energy than SA-ZVCG.
+    assert speedup["SMT-T2Q2"] > 1.4
+    assert speedup["SMT-T2Q4"] > speedup["SMT-T2Q2"]
+    assert energy["SMT-T2Q2"] > 1.2
+    assert energy["SMT-T2Q4"] > 1.2

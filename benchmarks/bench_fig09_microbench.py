@@ -1,0 +1,37 @@
+"""Figure 9 (a-d): synthetic sparsity sweeps for all four SA variants."""
+
+import pytest
+
+from repro.eval import fig9_microbench
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c", "d"])
+def test_bench_fig9(benchmark, save_result, panel):
+    result = benchmark.pedantic(fig9_microbench, args=(panel,),
+                                rounds=1, iterations=1)
+    save_result(result)
+    speedups = result.column("speedup vs SA-ZVCG")
+    energies = result.column(result.headers[1])
+    if panel == "a":
+        # ZVCG: no speedup, energy scales weakly.
+        assert all(s == 1.0 for s in speedups)
+        assert energies[0] >= energies[-1] > 0.5 * energies[0]
+    elif panel == "b":
+        # SMT: some speedup, but more energy than SA-ZVCG at every
+        # sweep point (both panels share the same normalization anchor).
+        assert max(speedups) > 1.4
+        zvcg_energies = fig9_microbench("a").column(result.headers[1])
+        # Higher energy than SA-ZVCG through the typical-sparsity range
+        # (the model shows a crossover only at the extreme 87.5% point,
+        # where SMT's near-2x speedup overcomes its FIFO overhead).
+        assert all(smt > zvcg for smt, zvcg
+                   in zip(energies[:4], zvcg_energies[:4]))
+    elif panel == "c":
+        # S2TA-W: 2x step at >=50% weight sparsity, capped there.
+        assert speedups[:2] == [1.0, 1.0]
+        assert all(s == pytest.approx(2.0, abs=0.05) for s in speedups[2:])
+    else:
+        # S2TA-AW: the paper's 1.0/1.3/2.0/2.7/4.0/8.0 series.
+        paper = [1.0, 1.33, 2.0, 2.67, 4.0, 8.0]
+        assert speedups == pytest.approx(paper, abs=0.05)
+        assert energies[0] / energies[-1] > 3.0

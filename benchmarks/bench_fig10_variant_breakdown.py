@@ -1,0 +1,17 @@
+"""Figure 10: per-component energy and speedup across all variants."""
+
+from repro.eval import fig10_variant_breakdown
+
+
+def test_bench_fig10(benchmark, save_result):
+    result = benchmark(fig10_variant_breakdown)
+    save_result(result)
+    total = {row[0]: row[6] for row in result.rows}
+    speedup = {row[0]: row[7] for row in result.rows}
+    # Fig. 10 energy ordering: AW < W < ZVCG < SMT variants < SA.
+    assert total["S2TA-AW"] < total["S2TA-W"] < 1.0
+    assert total["SMT-T2Q2"] > 1.0
+    assert total["SA"] > 1.0
+    # Speedups: ~1.7/1.9 (SMT), 2.0 (W), ~2.7 (AW).
+    assert speedup["S2TA-W"] == 2.0
+    assert 2.3 < speedup["S2TA-AW"] < 3.0

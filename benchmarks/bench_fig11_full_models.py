@@ -1,0 +1,18 @@
+"""Figure 11: full-model energy reduction and speedup vs SA-ZVCG."""
+
+from repro.eval import fig11_full_models
+
+
+def test_bench_fig11(benchmark, save_result):
+    result = benchmark(fig11_full_models)
+    save_result(result)
+    average = result.row("average")
+    aw_energy, aw_speedup = average[5], average[6]
+    benchmark.extra_info["aw_energy_x"] = aw_energy
+    benchmark.extra_info["aw_speedup_x"] = aw_speedup
+    # Paper: 2.08x / 2.11x average vs SA-ZVCG.
+    assert abs(aw_energy - 2.08) < 0.35
+    assert abs(aw_speedup - 2.11) < 0.35
+    for row in result.rows[:-1]:
+        smt_energy = row[1]
+        assert smt_energy < 1.0  # SMT always worse than ZVCG on energy

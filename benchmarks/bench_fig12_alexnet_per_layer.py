@@ -1,0 +1,24 @@
+"""Figure 12: AlexNet per-layer energy across five accelerators."""
+
+from repro.eval import fig12_alexnet_per_layer
+
+
+def test_bench_fig12(benchmark, save_result):
+    result = benchmark(fig12_alexnet_per_layer)
+    save_result(result)
+    totals = {row[0]: row[-1] for row in result.rows}
+    aw = totals["S2TA-AW (65nm)"]
+    benchmark.extra_info["sparten_over_aw"] = round(
+        totals["SparTen (45nm)"] / aw, 2)
+    benchmark.extra_info["eyeriss_over_aw"] = round(
+        totals["Eyeriss v2 (65nm)"] / aw, 2)
+    # Paper: ~2.2x (SparTen) and ~3.1x (Eyeriss v2) more energy than AW.
+    assert 1.7 < totals["SparTen (45nm)"] / aw < 2.8
+    assert 2.4 < totals["Eyeriss v2 (65nm)"] / aw < 4.0
+    # Even SA-ZVCG beats SparTen in total (Sec. 8.3).
+    assert totals["SA-ZVCG (65nm)"] < totals["SparTen (45nm)"]
+    # SparTen only wins on the sparse tail (conv5), not conv1.
+    conv1 = {row[0]: row[1] for row in result.rows}
+    conv5 = {row[0]: row[5] for row in result.rows}
+    assert conv1["SparTen (45nm)"] > conv1["SA-ZVCG (65nm)"]
+    assert conv5["SparTen (45nm)"] < conv5["SA-ZVCG (65nm)"]

@@ -1,0 +1,14 @@
+"""Table 1: PE buffer bytes per INT8 MAC across architectures."""
+
+from repro.eval import tbl1_buffer_per_mac
+
+
+def test_bench_tbl1(benchmark, save_result):
+    result = benchmark(tbl1_buffer_per_mac)
+    save_result(result)
+    model = {row[0]: row[4] for row in result.rows if row[4] != "-"}
+    # S2TA's TPEs need orders of magnitude less buffering than the
+    # unstructured-sparse designs.
+    assert model["S2TA-W"] < 1.0
+    assert model["S2TA-AW"] < 6.0
+    assert model["SparTen"] / model["S2TA-W"] > 1000

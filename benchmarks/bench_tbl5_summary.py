@@ -1,0 +1,17 @@
+"""Table 5: qualitative design summary."""
+
+from repro.eval import tbl5_summary
+
+
+def test_bench_tbl5(benchmark, save_result):
+    result = benchmark(tbl5_summary)
+    save_result(result)
+    rows = {row[0]: row for row in result.rows}
+    # Only S2TA-AW has variable (time-unrolled) activation DBB.
+    unrolled = [name for name, row in rows.items() if row[5] == "yes"]
+    assert unrolled == ["S2TA-AW"]
+    # Unstructured designs carry gather/scatter overhead structures.
+    for name in ("SA-SMT", "SCNN", "SparTen"):
+        assert rows[name][3] != "none"
+    for name in ("S2TA-W", "S2TA-AW", "A100", "Kang", "STA"):
+        assert rows[name][3] == "none"

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure); the
+rendered text is saved under ``benchmarks/results/`` so the reproduction
+output survives pytest's stdout capture, and key numbers are attached to
+the pytest-benchmark record via ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def save_result():
+    """Persist a rendered ExperimentResult and return it unchanged."""
+
+    def _save(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = "".join(c if c.isalnum() else "_"
+                       for c in result.artifact.lower()).strip("_")
+        path = RESULTS_DIR / f"{slug}.txt"
+        path.write_text(result.render() + "\n")
+        return result
+
+    return _save

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which must build an editable wheel) fail.
+This shim lets ``pip install -e . --no-use-pep517`` fall back to
+``setup.py develop``, which needs only setuptools. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,232 @@
+"""Common accelerator-model machinery.
+
+An :class:`AcceleratorModel` prices one :class:`LayerSpec` at a time:
+the subclass provides the compute-cycle count and hardware events
+(:meth:`AcceleratorModel._layer_events`), the base class applies the
+memory-bound cap for FC/depthwise layers (Sec. 8.3), prices the events
+through the :class:`~repro.energy.model.EnergyModel`, and aggregates
+whole-network runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.arch.events import EventCounts
+from repro.energy.costs import DEFAULT_COSTS, CostModel
+from repro.energy.model import AreaModel, EnergyBreakdown, EnergyModel
+from repro.energy.tech import get_tech
+from repro.models.specs import BLOCK_SIZE, LayerSpec, ModelSpec
+
+__all__ = ["LayerResult", "AccelRunResult", "AcceleratorModel"]
+
+# Software-managed SRAM fill bandwidth available to stream operands that
+# do not fit on chip (weights of FC layers, mainly). Bytes per cycle.
+DMA_BYTES_PER_CYCLE = 32
+
+
+@dataclass
+class LayerResult:
+    """PPA of one layer on one accelerator."""
+
+    layer: LayerSpec
+    compute_cycles: int
+    memory_cycles: int
+    events: EventCounts
+    breakdown: EnergyBreakdown
+
+    @property
+    def cycles(self) -> int:
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_cycles > self.compute_cycles
+
+    @property
+    def energy_pj(self) -> float:
+        return self.breakdown.total_pj
+
+    @property
+    def energy_uj(self) -> float:
+        return self.breakdown.total_uj
+
+
+@dataclass
+class AccelRunResult:
+    """PPA of a whole network on one accelerator."""
+
+    accelerator: str
+    model: str
+    tech: str
+    clock_ghz: float
+    layer_results: List[LayerResult] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(r.cycles for r in self.layer_results)
+
+    @property
+    def breakdown(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for r in self.layer_results:
+            total = total + r.breakdown
+        return total
+
+    @property
+    def energy_uj(self) -> float:
+        return self.breakdown.total_uj
+
+    @property
+    def runtime_s(self) -> float:
+        return self.total_cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def inferences_per_second(self) -> float:
+        runtime = self.runtime_s
+        return 1.0 / runtime if runtime > 0 else 0.0
+
+    @property
+    def inferences_per_joule(self) -> float:
+        energy_j = self.energy_uj * 1e-6
+        return 1.0 / energy_j if energy_j > 0 else 0.0
+
+    @property
+    def effective_tops(self) -> float:
+        """Dense-equivalent throughput: 2 ops per dense MAC over runtime."""
+        ops = 2.0 * sum(r.layer.macs for r in self.layer_results)
+        runtime = self.runtime_s
+        return ops / runtime / 1e12 if runtime > 0 else 0.0
+
+    @property
+    def effective_tops_per_watt(self) -> float:
+        energy_j = self.energy_uj * 1e-6
+        ops = 2.0 * sum(r.layer.macs for r in self.layer_results)
+        return ops / energy_j / 1e12 if energy_j > 0 else 0.0
+
+    def layer(self, name: str) -> LayerResult:
+        for r in self.layer_results:
+            if r.layer.name == name:
+                return r
+        raise KeyError(f"no layer {name!r} in run")
+
+
+class AcceleratorModel:
+    """Base class: subclasses implement ``_layer_events``."""
+
+    name = "accelerator"
+    hardware_macs = 2048
+    buffer_bytes_per_mac = 6.0  # Table 1 (scalar SA default)
+    sram_mb = 2.5
+    mcus = 4
+    has_dap = False
+
+    def __init__(self, tech: str = "16nm", costs: CostModel = DEFAULT_COSTS):
+        self.tech = tech
+        self.costs = costs
+        self.energy_model = EnergyModel(tech=tech, costs=costs)
+        self.clock_ghz = get_tech(tech).clock_ghz
+
+    # -------------------------------------------------------------- #
+
+    def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
+        """Return (compute_cycles, events) for one layer. Subclass hook."""
+        raise NotImplementedError
+
+    def _memory_cycles(self, layer: LayerSpec) -> int:
+        """Operand streaming floor for memory-bound layer kinds.
+
+        Inference (batch 1) gives FC weights zero reuse and depthwise
+        layers almost no reduction, so the DMA/SRAM fill bandwidth caps
+        throughput identically across all SA variants (Sec. 8.3).
+        """
+        if not layer.memory_bound:
+            return 0
+        stream_bytes = self._weight_stream_bytes(layer) + layer.m * layer.k
+        return math.ceil(stream_bytes / DMA_BYTES_PER_CYCLE)
+
+    def _weight_stream_bytes(self, layer: LayerSpec) -> int:
+        """Weight bytes streamed once (dense by default; DBB overrides)."""
+        return layer.weight_bytes
+
+    # -------------------------------------------------------------- #
+
+    def run_layer(self, layer: LayerSpec) -> LayerResult:
+        compute_cycles, events = self._layer_events(layer)
+        memory_cycles = self._memory_cycles(layer)
+        # The MCU-cluster background burns for the full (possibly
+        # memory-stalled) duration.
+        events.cycles = max(compute_cycles, memory_cycles)
+        breakdown = self.energy_model.breakdown(events)
+        return LayerResult(
+            layer=layer,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            events=events,
+            breakdown=breakdown,
+        )
+
+    def run_model(self, spec: ModelSpec, conv_only: bool = False
+                  ) -> AccelRunResult:
+        layers = spec.conv_layers if conv_only else spec.layers
+        result = AccelRunResult(
+            accelerator=self.name,
+            model=spec.name,
+            tech=self.tech,
+            clock_ghz=self.clock_ghz,
+        )
+        for layer in layers:
+            result.layer_results.append(self.run_layer(layer))
+        return result
+
+    # -------------------------------------------------------------- #
+
+    def area_mm2(self) -> float:
+        return self._area_model().total_mm2
+
+    def area_breakdown_mm2(self) -> dict:
+        return self._area_model().breakdown_mm2()
+
+    def _area_model(self) -> AreaModel:
+        return AreaModel(
+            macs=self.hardware_macs,
+            buffer_bytes_per_mac=self.buffer_bytes_per_mac,
+            sram_mb=self.sram_mb,
+            mcus=self.mcus,
+            has_dap=self.has_dap,
+            tech=self.tech,
+            costs=self.costs,
+        )
+
+    # -------------------------------------------------------------- #
+
+    def microbench_layer(
+        self,
+        w_density: float,
+        a_density: float,
+        w_nnz: Optional[int] = None,
+        a_nnz: Optional[int] = None,
+        m: int = 1024,
+        k: int = 1152,
+        n: int = 256,
+    ) -> LayerResult:
+        """Run the Sec. 8.2 synthetic conv layer at given sparsity."""
+        from repro.models.specs import LayerKind
+
+        layer = LayerSpec(
+            "microbench",
+            LayerKind.CONV,
+            m=m, k=k, n=n,
+            w_nnz=w_nnz if w_nnz is not None
+            else max(1, round(w_density * BLOCK_SIZE)),
+            a_nnz=a_nnz if a_nnz is not None
+            else max(1, round(a_density * BLOCK_SIZE)),
+            weight_density=w_density,
+            act_density=a_density,
+        )
+        return self.run_layer(layer)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(tech={self.tech!r})"

@@ -1,0 +1,69 @@
+"""SCNN analytical model (Parashar et al., ISCA'17).
+
+SCNN is the canonical *result-scatter* (outer-product) unstructured
+sparse CNN accelerator (Fig. 2b): every non-zero weight multiplies
+every non-zero activation of a tile, and partial products route through
+a crossbar into a large distributed accumulator buffer — Table 1's
+1.65 KB of buffering per MAC, the highest of any design the paper
+quotes. The paper compares against SparTen (which supersedes SCNN) in
+the evaluation; SCNN is modelled here to complete Table 1/Table 5 and
+the scatter-overhead analysis of Sec. 2.3.
+
+Published design point: 64 PEs x 16 multipliers = 1024 MACs in 16 nm at
+1 GHz (original paper); the scatter crossbar and accumulator RMWs are
+charged per product.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.accel.base import AcceleratorModel
+from repro.arch.events import EventCounts
+from repro.models.specs import LayerSpec
+
+__all__ = ["SCNN"]
+
+
+class SCNN(AcceleratorModel):
+    """SCNN at its published design point (16 nm, 1024 INT16->INT8 MACs)."""
+
+    name = "SCNN"
+    hardware_macs = 1024
+    buffer_bytes_per_mac = 1650.0  # Table 1
+    sram_mb = 1.0
+    mcus = 1
+    utilization = 0.6
+    # Crossbar traversal + distributed accumulator RMW per product; the
+    # 1.65 KB/MAC buffer hierarchy costs more per access than SparTen's
+    # (which the paper credits with "superior results to SCNN").
+    scatter_ops_per_product = 3
+
+    def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
+        useful = max(1, round(layer.macs * layer.w_density * layer.a_density))
+        compute_cycles = math.ceil(
+            useful / (self.hardware_macs * self.utilization)
+        )
+        events = EventCounts()
+        events.mac_ops = useful
+        # Outer product needs no operand gather, but every product pays
+        # the crossbar + distributed-accumulator read-modify-write.
+        events.scatter_acc_ops = useful * self.scatter_ops_per_product
+        a_stored = round(layer.m * layer.k * layer.a_density) * 2  # CSR idx
+        w_stored = round(layer.k * layer.n * layer.w_density) * 2
+        n_passes = max(1, math.ceil(layer.n / 64))
+        events.sram_a_read_bytes = a_stored * min(n_passes, 8)
+        events.sram_w_read_bytes = w_stored
+        events.sram_a_write_bytes = layer.m * layer.n
+        events.mcu_elementwise_ops = layer.m * layer.n
+        return compute_cycles, events
+
+    def run_layer(self, layer: LayerSpec):
+        result = super().run_layer(layer)
+        # No M33 cluster; fold post-processing per output as published.
+        scale = self.energy_model.tech.energy_scale
+        result.breakdown.actfn = (
+            result.events.mcu_elementwise_ops * 2.0 * scale
+        )
+        return result

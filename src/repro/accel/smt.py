@@ -1,0 +1,64 @@
+"""SA-SMT: unstructured sparsity on a systolic array via staging FIFOs.
+
+The paper's INT8 re-implementation of SMT-SA [38]. Throughput comes from
+the queueing simulation in :mod:`repro.arch.smt` (memoized per density
+point); the energy cost adds two FIFO events per useful MAC — the
+overhead that makes SMT *less* energy-efficient than SA-ZVCG despite its
+speedup (Fig. 3, Fig. 10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.accel.sa import ZvcgSA
+from repro.arch.events import EventCounts
+from repro.arch.smt import SMTArrayModel
+from repro.models.specs import LayerSpec
+
+__all__ = ["SmtSA"]
+
+
+class SmtSA(ZvcgSA):
+    """SA-SMT with T threads and depth-Q staging FIFOs (default T2Q2)."""
+
+    buffer_bytes_per_mac = 20.0  # Table 1: SA-SMT (T2Q2, INT8)
+
+    def __init__(self, tech: str = "16nm", threads: int = 2,
+                 fifo_depth: int = 2, **kwargs):
+        super().__init__(tech=tech, **kwargs)
+        self.threads = threads
+        self.fifo_depth = fifo_depth
+        self.name = f"SA-SMT-T{threads}Q{fifo_depth}"
+        self._queue_model = SMTArrayModel(threads=threads,
+                                          fifo_depth=fifo_depth)
+        self._speedup_cache: Dict[Tuple[int, int], float] = {}
+
+    def speedup_at(self, w_density: float, a_density: float) -> float:
+        """Queueing-simulated speedup, cached on a 1% density grid."""
+        key = (round(w_density * 100), round(a_density * 100))
+        if key not in self._speedup_cache:
+            speedup = self._queue_model.speedup(
+                w_density, a_density, stream_length=1152,
+                rng=np.random.default_rng(key[0] * 101 + key[1]),
+            )
+            self._speedup_cache[key] = max(1.0, speedup)
+        return self._speedup_cache[key]
+
+    def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
+        zvcg_cycles, events = super()._layer_events(layer)
+        speedup = self.speedup_at(layer.w_density, layer.a_density)
+        compute_cycles = math.ceil(zvcg_cycles / speedup)
+        # Fewer cycles -> fewer gated (idle) MAC/acc slots; the operand
+        # streams still carry every element, so register traffic stays.
+        slots = compute_cycles * self.rows * self.cols
+        fired = events.mac_ops
+        events.gated_mac_ops = max(0, slots - fired)
+        events.gated_acc_reg_ops = max(0, slots - fired)
+        # Every useful pair goes through the staging FIFO once.
+        events.fifo_push_ops = fired
+        events.fifo_pop_ops = fired
+        return compute_cycles, events

@@ -1,0 +1,50 @@
+"""Microarchitecture models.
+
+Cycle-level functional models of the paper's hardware building blocks:
+
+- :mod:`repro.arch.events`: hardware event counters shared by every model
+  (the energy model charges per event).
+- :mod:`repro.arch.buffers`: SRAM / register / FIFO buffer models with
+  access accounting.
+- :mod:`repro.arch.datapath`: the Fig. 6 datapath family — DP8, DP8+ZVCG,
+  DP4M8 (W-DBB), DP4M4 (fixed joint DBB) and the time-unrolled DP1M4.
+- :mod:`repro.arch.dap_hw`: the cascaded magnitude-maxpool DAP array
+  (Fig. 8), bit-exact with the algorithmic DAP.
+- :mod:`repro.arch.smt`: the SA-SMT staging-FIFO queueing simulator.
+- :mod:`repro.arch.systolic`: output-stationary systolic array simulator
+  for the scalar-PE baselines and the S2TA tensor-PE variants.
+"""
+
+from repro.arch.buffers import FIFO, RegisterFile, Sram
+from repro.arch.dap_hw import DAPHardware
+from repro.arch.datapath import (
+    dp1m4_block,
+    dp4m4_block,
+    dp4m8_block,
+    dp8_dense,
+)
+from repro.arch.events import EventCounts
+from repro.arch.netsim import NetworkSimResult, simulate_network
+from repro.arch.smt import SMTArrayModel, SMTResult
+from repro.arch.systolic import SystolicArray, SystolicConfig, SystolicResult
+from repro.arch.tpe import TensorPE
+
+__all__ = [
+    "EventCounts",
+    "Sram",
+    "RegisterFile",
+    "FIFO",
+    "dp8_dense",
+    "dp4m8_block",
+    "dp4m4_block",
+    "dp1m4_block",
+    "DAPHardware",
+    "SMTArrayModel",
+    "SMTResult",
+    "SystolicArray",
+    "SystolicConfig",
+    "SystolicResult",
+    "TensorPE",
+    "simulate_network",
+    "NetworkSimResult",
+]

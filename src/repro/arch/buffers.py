@@ -1,0 +1,141 @@
+"""Buffer models: SRAM, register file, FIFO — with access accounting.
+
+These model the *cost-bearing* behaviour of on-chip storage (Sec. 2's
+point is that buffers, not MACs, dominate INT8 accelerator energy). The
+functional content is ordinary Python; what matters is that every access
+is counted so the energy model can price it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+__all__ = ["Sram", "RegisterFile", "FIFO", "FifoFullError"]
+
+
+class Sram:
+    """A byte-addressed software-managed SRAM with read/write counters.
+
+    S2TA uses grouped (not distributed) SRAM: a 0.5 MB weight buffer and a
+    2 MB activation buffer, both double buffered (Sec. 6.3). Double
+    buffering affects area (modelled in :mod:`repro.energy`), not the
+    access counts tallied here.
+    """
+
+    def __init__(self, size_bytes: int, name: str = "sram"):
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {size_bytes}")
+        self.size_bytes = size_bytes
+        self.name = name
+        self.data = np.zeros(size_bytes, dtype=np.int8)
+        self.read_bytes = 0
+        self.write_bytes = 0
+
+    def write(self, address: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int8).reshape(-1)
+        self._check_range(address, values.size)
+        self.data[address:address + values.size] = values
+        self.write_bytes += values.size
+
+    def read(self, address: int, length: int) -> np.ndarray:
+        self._check_range(address, length)
+        self.read_bytes += length
+        return self.data[address:address + length].copy()
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or address + length > self.size_bytes:
+            raise IndexError(
+                f"{self.name}: access [{address}, {address + length}) "
+                f"outside size {self.size_bytes}"
+            )
+
+    def reset_counters(self) -> None:
+        self.read_bytes = 0
+        self.write_bytes = 0
+
+
+class RegisterFile:
+    """A small operand register file with per-access counting.
+
+    Models the pipeline operand registers inside each PE: every systolic
+    hop is one write + one read of an 8-bit register.
+    """
+
+    def __init__(self, entries: int, name: str = "regfile"):
+        if entries <= 0:
+            raise ValueError(f"entries must be positive, got {entries}")
+        self.entries = entries
+        self.name = name
+        self.data = np.zeros(entries, dtype=np.int64)
+        self.read_ops = 0
+        self.write_ops = 0
+
+    def write(self, index: int, value: int) -> None:
+        self._check(index)
+        self.data[index] = value
+        self.write_ops += 1
+
+    def read(self, index: int) -> int:
+        self._check(index)
+        self.read_ops += 1
+        return int(self.data[index])
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.entries:
+            raise IndexError(f"{self.name}: register {index} of {self.entries}")
+
+
+class FifoFullError(Exception):
+    """Raised on push into a full FIFO (the SMT model treats it as a stall)."""
+
+
+class FIFO:
+    """A bounded FIFO with push/pop counters (the SMT staging buffer).
+
+    SA-SMT's operand staging FIFOs are the overhead structure quantified
+    in Sec. 2.2; depth 2 (T2Q2) or 4 (T2Q4) per the paper's variants.
+    """
+
+    def __init__(self, depth: int, name: str = "fifo"):
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.depth = depth
+        self.name = name
+        self._items: Deque = deque()
+        self.push_ops = 0
+        self.pop_ops = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, item) -> None:
+        if self.full:
+            raise FifoFullError(f"{self.name}: push into full FIFO (depth {self.depth})")
+        self._items.append(item)
+        self.push_ops += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._items))
+
+    def pop(self):
+        if self.empty:
+            raise IndexError(f"{self.name}: pop from empty FIFO")
+        self.pop_ops += 1
+        return self._items.popleft()
+
+    def try_push(self, item) -> bool:
+        """Push unless full; returns whether the push happened."""
+        if self.full:
+            return False
+        self.push(item)
+        return True

@@ -1,0 +1,158 @@
+"""Hardware DAP array: cascaded magnitude maxpools (Fig. 8).
+
+The DAP array turns a dense ``BZ``-element activation block into a
+DBB-compliant one at line rate: ``NNZ`` cascaded *magnitude maxpool*
+stages each select the largest-|x| element not chosen by an earlier
+stage, using ``BZ - 1`` binary comparators per stage. The cumulative
+positional bitmask after stage *k* is the Top-k mask.
+
+The cascade is capped at 5 stages in the paper's design (Sec. 6.2);
+layers tuned above 5/8 bypass DAP entirely and run dense.
+
+This model is bit-exact with the algorithmic DAP
+(:func:`repro.core.dap.dap_prune`): a comparator tree with strict
+``>`` comparisons and left-operand priority selects the lowest index
+among equal magnitudes, the same tie-break as the software Top-NNZ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.arch.events import EventCounts
+from repro.core.dap import DAP_MAX_HARDWARE_NNZ
+from repro.core.dbb import DBBBlock, DBBSpec, positions_to_mask
+
+__all__ = ["DAPHardware", "DAPStageTrace"]
+
+
+@dataclass
+class DAPStageTrace:
+    """One maxpool stage's outcome: selected position and cumulative mask."""
+
+    stage: int
+    selected_position: int
+    cumulative_mask: int
+
+
+class DAPHardware:
+    """The cascaded magnitude-maxpool DAP array.
+
+    Parameters
+    ----------
+    block_size:
+        ``BZ``; the paper's design fixes 8.
+    max_stages:
+        Number of maxpool stages physically built (paper: 5). Requests for
+        larger NNZ must bypass (checked at :meth:`prune_block`).
+    """
+
+    def __init__(self, block_size: int = 8,
+                 max_stages: int = DAP_MAX_HARDWARE_NNZ):
+        if block_size < 2:
+            raise ValueError(f"block_size must be >= 2, got {block_size}")
+        if not 1 <= max_stages < block_size:
+            raise ValueError(
+                f"max_stages must be in [1, BZ-1], got {max_stages}"
+            )
+        self.block_size = block_size
+        self.max_stages = max_stages
+
+    def _maxpool(self, magnitudes: np.ndarray, excluded: np.ndarray) -> int:
+        """One magnitude maxpool: index of the largest non-excluded |x|.
+
+        Implemented as the comparator chain the hardware uses: a running
+        winner compared against each candidate with strict ``>``, so the
+        earliest (lowest) index wins ties.
+        """
+        winner = -1
+        winner_mag = -1
+        for idx in range(self.block_size):
+            if excluded[idx]:
+                continue
+            if int(magnitudes[idx]) > winner_mag:
+                winner = idx
+                winner_mag = int(magnitudes[idx])
+        return winner
+
+    def prune_block(
+        self, block: np.ndarray, nnz: int
+    ) -> Tuple[DBBBlock, List[DAPStageTrace], EventCounts]:
+        """Run the cascade on one dense block.
+
+        Returns the compressed :class:`DBBBlock`, the per-stage trace
+        (for waveform-style inspection), and the comparator event counts.
+
+        Raises
+        ------
+        ValueError
+            If ``nnz`` exceeds the built stages — such layers must bypass
+            DAP (handled a level up by the accelerator model).
+        """
+        block = np.asarray(block)
+        if block.shape != (self.block_size,):
+            raise ValueError(
+                f"block must have shape ({self.block_size},), got {block.shape}"
+            )
+        if not 1 <= nnz <= self.max_stages:
+            raise ValueError(
+                f"nnz={nnz} outside hardware range [1, {self.max_stages}]; "
+                f"denser layers bypass DAP"
+            )
+        magnitudes = np.abs(block.astype(np.int64))
+        excluded = np.zeros(self.block_size, dtype=bool)
+        events = EventCounts()
+        traces: List[DAPStageTrace] = []
+        selected: List[int] = []
+        for stage in range(nnz):
+            # each stage burns BZ-1 binary comparisons regardless of data
+            events.dap_compare_ops += self.block_size - 1
+            winner = self._maxpool(magnitudes, excluded)
+            if winner >= 0 and magnitudes[winner] > 0:
+                excluded[winner] = True
+                selected.append(winner)
+            traces.append(
+                DAPStageTrace(
+                    stage=stage,
+                    selected_position=winner,
+                    cumulative_mask=positions_to_mask(sorted(selected),
+                                                      self.block_size),
+                )
+            )
+        spec = DBBSpec(self.block_size, nnz)
+        positions = sorted(selected)
+        values = [block[p] for p in positions]
+        values += [block.dtype.type(0)] * (nnz - len(values))
+        mask = positions_to_mask(positions, self.block_size)
+        return DBBBlock(spec=spec, values=tuple(values), mask=mask), traces, events
+
+    def prune_tensor(
+        self, activations: np.ndarray, nnz: int
+    ) -> Tuple[np.ndarray, EventCounts]:
+        """Run the cascade over every block of a tensor (last axis blocked).
+
+        Returns the dense-layout pruned tensor and total comparator events;
+        bit-exact with :func:`repro.core.dap.dap_prune`.
+        """
+        activations = np.asarray(activations)
+        original_shape = activations.shape
+        last = original_shape[-1]
+        pad = (-last) % self.block_size
+        work = activations.reshape(-1, last)
+        if pad:
+            work = np.concatenate(
+                [work, np.zeros((work.shape[0], pad), dtype=work.dtype)], axis=1
+            )
+        blocks = work.reshape(-1, self.block_size)
+        out = np.zeros_like(blocks)
+        events = EventCounts()
+        for i in range(blocks.shape[0]):
+            compressed, _traces, block_events = self.prune_block(blocks[i], nnz)
+            events += block_events
+            for pos, val in compressed.nonzero_pairs():
+                out[i, pos] = val
+        pruned = out.reshape(work.shape)[:, :last].reshape(original_shape)
+        return pruned.astype(activations.dtype), events

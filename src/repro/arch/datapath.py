@@ -1,0 +1,147 @@
+"""The Fig. 6 datapath family.
+
+Each function computes one block-level partial sum *functionally* (bit
+exact with the dense dot product of the expanded operands) and returns
+the hardware events it would cost:
+
+- :func:`dp8_dense` — Fig. 6a/b: dense 8-MAC dot product, optionally with
+  zero-value clock gating (ZVCG).
+- :func:`dp4m8_block` — Fig. 6c: 4/8 W-DBB, 4 MACs + an 8:1 activation
+  steering mux per MAC. Dense activations.
+- :func:`dp4m4_block` — Fig. 6d: fixed joint A/W-DBB, 4 MACs + 4:1 muxes;
+  bitmask intersection gates mismatch slots.
+- :func:`dp1m4_block` — Fig. 6e: the time-unrolled variable A-DBB
+  datapath — one MAC + 4:1 weight mux; activation non-zeros stream one
+  per cycle, so a block takes ``a_nnz`` cycles regardless of density.
+
+All return ``(psum, EventCounts)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.arch.events import EventCounts
+from repro.core.dbb import DBBBlock
+
+__all__ = ["dp8_dense", "dp4m8_block", "dp4m4_block", "dp1m4_block"]
+
+
+def dp8_dense(
+    a_block: np.ndarray, w_block: np.ndarray, zvcg: bool = False
+) -> Tuple[int, EventCounts]:
+    """Dense vector dot product (DP8), optionally with ZVCG (Fig. 6a/b).
+
+    All ``BZ`` MAC slots issue every block; with ZVCG, slots where either
+    operand is zero are clock-gated (power saved, no speedup — the slot is
+    still occupied, which is exactly why ZVCG gives no throughput gain).
+    """
+    a_block = np.asarray(a_block, dtype=np.int64)
+    w_block = np.asarray(w_block, dtype=np.int64)
+    if a_block.shape != w_block.shape or a_block.ndim != 1:
+        raise ValueError(
+            f"operand blocks must be equal-length vectors, got "
+            f"{a_block.shape} and {w_block.shape}"
+        )
+    events = EventCounts()
+    useful = (a_block != 0) & (w_block != 0)
+    fired = int(np.count_nonzero(useful)) if zvcg else a_block.size
+    events.mac_ops += fired
+    events.gated_mac_ops += a_block.size - fired
+    psum = int(np.dot(a_block, w_block))
+    return psum, events
+
+
+def dp4m8_block(
+    a_block: np.ndarray, w_block: DBBBlock, zvcg: bool = True
+) -> Tuple[int, EventCounts]:
+    """W-DBB dot product (DP4M8, Fig. 6c).
+
+    ``NNZ`` hardware MACs process a whole ``BZ`` block per cycle; each MAC
+    is fed the matching activation through an ``BZ``:1 mux steered by the
+    weight bitmask. Underfull blocks (stored zeros) and zero activations
+    are clock-gated when ``zvcg``.
+    """
+    a_block = np.asarray(a_block, dtype=np.int64)
+    spec = w_block.spec
+    if a_block.shape != (spec.block_size,):
+        raise ValueError(
+            f"activation block must have shape ({spec.block_size},), "
+            f"got {a_block.shape}"
+        )
+    events = EventCounts()
+    psum = 0
+    slots = spec.max_nnz
+    pairs = w_block.nonzero_pairs()
+    events.mux_ops += slots
+    fired = 0
+    for pos, w_val in pairs:
+        a_val = int(a_block[pos])
+        if w_val != 0 and (a_val != 0 or not zvcg):
+            psum += a_val * int(w_val)
+            fired += 1
+    events.mac_ops += fired if zvcg else slots
+    events.gated_mac_ops += slots - (fired if zvcg else slots)
+    return psum, events
+
+
+def dp4m4_block(
+    a_block: DBBBlock, w_block: DBBBlock
+) -> Tuple[int, EventCounts]:
+    """Fixed joint A/W-DBB dot product (DP4M4, Fig. 6d).
+
+    Both operands arrive compressed; the bitmasks are intersected to find
+    matching positions. All ``NNZ`` MAC slots issue each block (fixed
+    spatial unrolling — this is the design whose utilization collapses
+    under variable density, motivating time-unrolling); mismatches are
+    clock-gated.
+    """
+    spec = w_block.spec
+    if a_block.spec.block_size != spec.block_size:
+        raise ValueError("operand block sizes differ")
+    events = EventCounts()
+    events.mux_ops += spec.max_nnz
+    a_vals = dict(a_block.nonzero_pairs())
+    psum = 0
+    fired = 0
+    for pos, w_val in w_block.nonzero_pairs():
+        if w_val != 0 and pos in a_vals and a_vals[pos] != 0:
+            psum += int(a_vals[pos]) * int(w_val)
+            fired += 1
+    events.mac_ops += fired
+    events.gated_mac_ops += spec.max_nnz - fired
+    return psum, events
+
+
+def dp1m4_block(
+    a_block: DBBBlock, w_block: DBBBlock
+) -> Tuple[int, EventCounts]:
+    """Time-unrolled variable A-DBB datapath (DP1M4, Fig. 6e).
+
+    The single MAC consumes one *stored* activation element per cycle, so
+    the block costs exactly ``a_spec.max_nnz`` cycles — the serialization
+    that makes per-layer density a pure cycle-count knob (Sec. 5.2). Each
+    cycle the weight bitmask is checked at the activation's expanded
+    position: on a match the ``NNZ_w``:1 mux steers the stored weight into
+    the MAC; otherwise the MAC is clock-gated (the product would be zero).
+    """
+    spec = w_block.spec
+    if a_block.spec.block_size != spec.block_size:
+        raise ValueError("operand block sizes differ")
+    events = EventCounts()
+    cycles = a_block.spec.max_nnz  # stored slots stream, full or not
+    events.cycles += cycles
+    psum = 0
+    fired = 0
+    w_vals = dict(w_block.nonzero_pairs())
+    for pos, a_val in a_block.nonzero_pairs():
+        events.mux_ops += 1
+        w_val = w_vals.get(pos)
+        if w_val is not None and w_val != 0 and a_val != 0:
+            psum += int(a_val) * int(w_val)
+            fired += 1
+    events.mac_ops += fired
+    events.gated_mac_ops += cycles - fired
+    return psum, events

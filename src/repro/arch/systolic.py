@@ -1,0 +1,358 @@
+"""Output-stationary systolic array simulator (scalar PE and tensor PE).
+
+Simulates one GEMM on a systolic array in any of the paper's four
+execution modes, producing the bit-exact result matrix, the cycle count
+of the output-stationary schedule (including wavefront fill skew), and
+the hardware event counts that drive the energy model:
+
+- ``DENSE`` — classic scalar-PE SA (Fig. 6a / TPU-style baseline).
+- ``ZVCG`` — scalar-PE SA with zero-value clock gating (Fig. 6b): same
+  cycles, gated events on zero operands.
+- ``WDBB`` — S2TA-W: a TPE array with DP4M8 datapaths (Fig. 6c)
+  consuming 4/8-compressed weights and dense activations; ``BZ/NNZ_w``
+  throughput gain.
+- ``AWDBB`` — S2TA-AW: the time-unrolled TPE array with DP1M4 datapaths
+  (Fig. 6e); activations are DAP-pruned and serialized, so each weight
+  block costs ``a_nnz`` cycles and per-layer density is a pure cycle
+  knob (speedup ``BZ/a_nnz``).
+
+The TPE organization (Sec. 6.1) is parameterized by ``tpe_a`` x ``tpe_c``
+(activation blocks x weight blocks per TPE, the outer-product dims); the
+scalar-PE baselines are the degenerate 1x1 case. TPE data reuse shows up
+as fewer operand-register and accumulator events per MAC — the effect
+behind Table 1's buffer-per-MAC comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.events import EventCounts
+from repro.core.dap import dap_prune
+from repro.core.dbb import DBBSpec, compress
+from repro.core.gemm import dense_gemm
+from repro.core.pruning import is_dbb_compliant
+
+__all__ = ["Mode", "SystolicConfig", "SystolicResult", "SystolicArray"]
+
+
+class Mode(enum.Enum):
+    DENSE = "dense"
+    ZVCG = "zvcg"
+    WDBB = "wdbb"
+    AWDBB = "awdbb"
+
+
+@dataclass(frozen=True)
+class SystolicConfig:
+    """Array geometry and execution mode.
+
+    ``rows`` x ``cols`` is the PE/TPE grid (paper: 32x64 scalar baseline,
+    8x8 TPEs for S2TA-AW). ``tpe_a``/``tpe_c`` are the per-TPE outer
+    product dims (8x4 for the paper's 8x4x4_8x8 design point; must be 1
+    for the scalar modes).
+    """
+
+    rows: int = 4
+    cols: int = 4
+    mode: Mode = Mode.DENSE
+    w_spec: DBBSpec = DBBSpec(8, 4)
+    a_spec: DBBSpec = DBBSpec(8, 4)
+    tpe_a: int = 1
+    tpe_c: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"array dims must be >= 1, got {self.rows}x{self.cols}")
+        if self.tpe_a < 1 or self.tpe_c < 1:
+            raise ValueError("TPE dims must be >= 1")
+        if self.mode in (Mode.DENSE, Mode.ZVCG) and (self.tpe_a, self.tpe_c) != (1, 1):
+            raise ValueError(f"{self.mode.value} mode uses scalar PEs (tpe 1x1)")
+        if self.mode is Mode.AWDBB and self.w_spec.block_size != self.a_spec.block_size:
+            raise ValueError("AWDBB requires matching weight/activation BZ")
+
+    @property
+    def eff_rows(self) -> int:
+        """Output rows covered per tile (TPE A-dim widens the tile)."""
+        return self.rows * self.tpe_a
+
+    @property
+    def eff_cols(self) -> int:
+        return self.cols * self.tpe_c
+
+    @property
+    def hardware_macs(self) -> int:
+        """Physical MAC count (Table 4's "Hardware MACs" row)."""
+        per_tpe = self.tpe_a * self.tpe_c
+        if self.mode is Mode.WDBB:
+            per_tpe *= self.w_spec.max_nnz  # DP4M8: NNZ MACs per DP unit
+        return self.rows * self.cols * per_tpe
+
+
+@dataclass
+class SystolicResult:
+    """Result of one simulated GEMM."""
+
+    output: np.ndarray
+    cycles: int
+    events: EventCounts
+    mode: Mode
+
+    @property
+    def mac_utilization(self) -> float:
+        return self.events.mac_utilization
+
+
+class SystolicArray:
+    """Functional/cycle simulator for one array configuration."""
+
+    def __init__(self, config: SystolicConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def run_gemm(
+        self,
+        a: np.ndarray,
+        w: np.ndarray,
+        a_nnz: Optional[int] = None,
+    ) -> SystolicResult:
+        """Execute ``C = A @ W`` on the configured array.
+
+        ``a_nnz`` selects the per-layer A-DBB density in ``AWDBB`` mode
+        (default: the configured activation spec's bound); the simulator
+        applies DAP itself, as the hardware does at the activation-buffer
+        write port. In ``WDBB``/``AWDBB`` modes the weights must already
+        satisfy the weight spec (statically pruned offline).
+        """
+        a = np.asarray(a)
+        w = np.asarray(w)
+        if a.ndim != 2 or w.ndim != 2 or a.shape[1] != w.shape[0]:
+            raise ValueError(f"shape mismatch: A {a.shape} @ W {w.shape}")
+        mode = self.config.mode
+        if mode is Mode.DENSE:
+            return self._run_scalar(a, w, zvcg=False)
+        if mode is Mode.ZVCG:
+            return self._run_scalar(a, w, zvcg=True)
+        if mode is Mode.WDBB:
+            return self._run_wdbb(a, w)
+        return self._run_awdbb(a, w, a_nnz)
+
+    # ------------------------------------------------------------------ #
+    # scalar-PE baselines
+    # ------------------------------------------------------------------ #
+
+    def _tile_counts(self, m: int, n: int) -> tuple:
+        cfg = self.config
+        tiles_m = math.ceil(m / cfg.eff_rows)
+        tiles_n = math.ceil(n / cfg.eff_cols)
+        return tiles_m, tiles_n
+
+    def _skew(self) -> int:
+        """Wavefront fill of the output-stationary schedule, in steps."""
+        return self.config.rows + self.config.cols - 2
+
+    def _run_scalar(self, a: np.ndarray, w: np.ndarray, zvcg: bool
+                    ) -> SystolicResult:
+        cfg = self.config
+        m, k = a.shape
+        n = w.shape[1]
+        tiles_m, tiles_n = self._tile_counts(m, n)
+        tiles = tiles_m * tiles_n
+        cycles = tiles * (k + self._skew())
+        slots = tiles * cfg.rows * cfg.cols * k  # issued MAC slots (padded)
+        a_nz = (a != 0).astype(np.int64)
+        w_nz = (w != 0).astype(np.int64)
+        useful = int((a_nz @ w_nz).sum())
+        events = EventCounts(cycles=cycles)
+        if zvcg:
+            events.mac_ops = useful
+            events.gated_mac_ops = slots - useful
+        else:
+            events.mac_ops = slots
+        # Operand pipeline registers: one a-hop and one w-hop per slot.
+        # ZVCG gates the register when its operand is zero.
+        a_hops = slots  # each activation hop feeds exactly one MAC slot
+        w_hops = slots
+        a_active = int(a_nz.sum()) * tiles_n * cfg.cols
+        w_active = int(w_nz.sum()) * tiles_m * cfg.rows
+        if zvcg:
+            events.operand_reg_ops = min(a_active, a_hops) + min(w_active, w_hops)
+            events.gated_operand_reg_ops = (
+                a_hops + w_hops - events.operand_reg_ops
+            )
+            events.acc_reg_ops = useful
+            events.gated_acc_reg_ops = slots - useful
+        else:
+            events.operand_reg_ops = a_hops + w_hops
+            events.acc_reg_ops = slots
+        self._add_sram_events(events, m, k, n,
+                              a_bytes_per_pass=m * k,
+                              w_bytes_per_pass=k * n,
+                              tiles_m=tiles_m, tiles_n=tiles_n)
+        out = dense_gemm(a, w)
+        return SystolicResult(output=out, cycles=cycles, events=events,
+                              mode=cfg.mode)
+
+    # ------------------------------------------------------------------ #
+    # S2TA-W: DP4M8 TPE array, compressed weights, dense activations
+    # ------------------------------------------------------------------ #
+
+    def _check_weights(self, w: np.ndarray) -> None:
+        spec = self.config.w_spec
+        k = w.shape[0]
+        pad = (-k) % spec.block_size
+        wt = w.T
+        if pad:
+            wt = np.concatenate(
+                [wt, np.zeros((wt.shape[0], pad), dtype=wt.dtype)], axis=1
+            )
+        if not is_dbb_compliant(wt, spec):
+            raise ValueError(
+                f"weights violate the {spec.ratio} W-DBB bound; run "
+                f"prune_weights_dbb first (static offline pruning)"
+            )
+
+    def _run_wdbb(self, a: np.ndarray, w: np.ndarray) -> SystolicResult:
+        cfg = self.config
+        spec = cfg.w_spec
+        self._check_weights(w)
+        m, k = a.shape
+        n = w.shape[1]
+        bz = spec.block_size
+        k_blocks = math.ceil(k / bz)
+        tiles_m, tiles_n = self._tile_counts(m, n)
+        tiles = tiles_m * tiles_n
+        cycles = tiles * (k_blocks + self._skew())
+        w_dbb = compress(w.T, spec)
+        events = EventCounts(cycles=cycles)
+        # MAC slots: NNZ per (output, block); padded tiles gate.
+        slots = tiles * cfg.eff_rows * cfg.eff_cols * k_blocks * spec.max_nnz
+        a_nz_cols = (a != 0).sum(axis=0)  # per reduction index
+        fired = 0
+        mux = n * k_blocks * spec.max_nnz * m
+        for col in range(n):
+            for b, block in enumerate(w_dbb.row_blocks(col)):
+                for pos, val in block.nonzero_pairs():
+                    idx = b * bz + pos
+                    if idx < k and val != 0:
+                        fired += int(a_nz_cols[idx])
+        events.mac_ops = fired
+        events.gated_mac_ops = slots - fired
+        events.mux_ops = mux
+        # Operand registers: a block hop serves tpe_c weight blocks; a
+        # weight block hop serves tpe_a activation blocks (intra-TPE reuse).
+        a_hops_bytes = tiles_n * cfg.cols * m * k  # dense activations
+        w_hops_bytes = (
+            tiles_m * cfg.rows * n * k_blocks
+            * (spec.max_nnz + int(spec.mask_bytes()))
+        )
+        events.operand_reg_ops = a_hops_bytes // cfg.tpe_c + w_hops_bytes // cfg.tpe_a
+        # DP4M8: NNZ MACs reduce through an adder tree into one accumulator
+        # update per (output, block).
+        events.acc_reg_ops = m * n * k_blocks
+        w_bytes_per_pass = n * k_blocks * math.ceil(
+            spec.compressed_block_bytes(1))
+        self._add_sram_events(events, m, k, n,
+                              a_bytes_per_pass=m * k,
+                              w_bytes_per_pass=w_bytes_per_pass,
+                              tiles_m=tiles_m, tiles_n=tiles_n)
+        from repro.core.gemm import dbb_gemm
+
+        out = dbb_gemm(a, w_dbb)
+        return SystolicResult(output=out, cycles=cycles, events=events,
+                              mode=cfg.mode)
+
+    # ------------------------------------------------------------------ #
+    # S2TA-AW: time-unrolled DP1M4 TPE array, both operands compressed
+    # ------------------------------------------------------------------ #
+
+    def _run_awdbb(self, a: np.ndarray, w: np.ndarray,
+                   a_nnz: Optional[int]) -> SystolicResult:
+        cfg = self.config
+        w_spec = cfg.w_spec
+        self._check_weights(w)
+        a_spec = cfg.a_spec
+        nnz_a = a_spec.max_nnz if a_nnz is None else a_nnz
+        if not 1 <= nnz_a <= a_spec.block_size:
+            raise ValueError(
+                f"a_nnz must be in [1, {a_spec.block_size}], got {nnz_a}"
+            )
+        m, k = a.shape
+        n = w.shape[1]
+        bz = a_spec.block_size
+        k_blocks = math.ceil(k / bz)
+        # DAP at the activation-buffer write port (dense bypass when the
+        # layer is tuned to full density).
+        if nnz_a < bz:
+            a_pruned = dap_prune(a, a_spec, nnz=nnz_a).pruned
+        else:
+            a_pruned = a
+        a_dbb = compress(a_pruned, a_spec.with_nnz(min(nnz_a, bz)))
+        w_dbb = compress(w.T, w_spec)
+        tiles_m, tiles_n = self._tile_counts(m, n)
+        tiles = tiles_m * tiles_n
+        steps_per_block = nnz_a if nnz_a < bz else bz
+        cycles = tiles * (k_blocks + self._skew()) * steps_per_block
+        events = EventCounts(cycles=cycles)
+        # Every DP1M4 issues one MAC slot per cycle of every block.
+        slots = tiles * cfg.eff_rows * cfg.eff_cols * k_blocks * steps_per_block
+        fired = 0
+        if nnz_a < bz:
+            # Fired when the weight mask matches the streamed activation.
+            for row in range(m):
+                a_blocks = a_dbb.row_blocks(row)
+                for col in range(n):
+                    for a_block, w_block in zip(a_blocks, w_dbb.row_blocks(col)):
+                        match = a_block.mask & w_block.mask
+                        fired += bin(match).count("1")
+        else:
+            a_nz = (a_pruned != 0).astype(np.int64)
+            w_nz = (w != 0).astype(np.int64)
+            fired = int((a_nz @ w_nz).sum())
+        events.mac_ops = fired
+        events.gated_mac_ops = slots - fired
+        events.mux_ops = m * n * k_blocks * steps_per_block
+        # Compressed operand hops with intra-TPE reuse.
+        a_block_bytes = steps_per_block + int(a_spec.mask_bytes())
+        w_block_bytes = w_spec.max_nnz + int(w_spec.mask_bytes())
+        a_hops_bytes = tiles_n * cfg.cols * m * k_blocks * a_block_bytes
+        w_hops_bytes = tiles_m * cfg.rows * n * k_blocks * w_block_bytes
+        events.operand_reg_ops = (
+            a_hops_bytes // cfg.tpe_c + w_hops_bytes // cfg.tpe_a
+        )
+        # DP1M4: the single accumulator updates once per streamed cycle.
+        events.acc_reg_ops = m * n * k_blocks * steps_per_block
+        # DAP array cost: once per unique activation block written to AB.
+        if nnz_a < bz:
+            unique_blocks = m * k_blocks
+            events.dap_compare_ops = unique_blocks * (bz - 1) * nnz_a
+        a_bytes_per_pass = m * k_blocks * a_block_bytes
+        w_bytes_per_pass = n * k_blocks * w_block_bytes
+        self._add_sram_events(events, m, k, n,
+                              a_bytes_per_pass=a_bytes_per_pass,
+                              w_bytes_per_pass=w_bytes_per_pass,
+                              tiles_m=tiles_m, tiles_n=tiles_n)
+        out = dense_gemm(a_pruned, w)
+        return SystolicResult(output=out, cycles=cycles, events=events,
+                              mode=cfg.mode)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _add_sram_events(events: EventCounts, m: int, k: int, n: int,
+                         a_bytes_per_pass: int, w_bytes_per_pass: int,
+                         tiles_m: int, tiles_n: int) -> None:
+        """Output-stationary SRAM traffic: operands re-read per tile pass,
+        INT8 results written once, one MCU post-op per output element."""
+        events.sram_a_read_bytes += a_bytes_per_pass * tiles_n
+        events.sram_w_read_bytes += w_bytes_per_pass * tiles_m
+        events.sram_a_write_bytes += m * n
+        events.mcu_elementwise_ops += m * n

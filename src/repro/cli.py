@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list-models
+    python -m repro list-accelerators
+    python -m repro run mobilenet_v1 --accelerator s2ta-aw --tech 16nm
+    python -m repro experiment fig11
+    python -m repro sweep --top 10
+
+Every command prints plain text; ``experiment`` accepts any artifact id
+from DESIGN.md's index (fig1, fig3, fig9a..fig9d, fig10, fig11, fig12,
+tbl1..tbl5, sec7, ablation-unroll, ablation-bz, ablation-dap).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List, Optional
+
+from repro.accel import (
+    SCNN,
+    S2TAAW,
+    S2TAW,
+    S2TAWA,
+    DenseSA,
+    EyerissV2,
+    SmtSA,
+    SparTen,
+    ZvcgSA,
+)
+from repro.models.zoo import MODEL_SPECS, get_spec
+
+__all__ = ["main", "build_parser"]
+
+ACCELERATORS: Dict[str, Callable] = {
+    "sa": DenseSA,
+    "sa-zvcg": ZvcgSA,
+    "sa-smt": SmtSA,
+    "s2ta-w": S2TAW,
+    "s2ta-aw": S2TAAW,
+    "s2ta-wa": S2TAWA,
+    "scnn": SCNN,
+    "sparten": SparTen,
+    "eyeriss-v2": EyerissV2,
+}
+
+
+def _experiments() -> Dict[str, Callable]:
+    from repro.eval import (
+        ablation_block_size,
+        ablation_dap_stages,
+        ablation_unroll_axis,
+        fig1_energy_breakdown,
+        fig3_smt_overhead,
+        fig9_microbench,
+        fig10_variant_breakdown,
+        fig11_full_models,
+        fig12_alexnet_per_layer,
+        sec7_design_space,
+        tbl1_buffer_per_mac,
+        tbl2_s2ta_breakdown,
+        tbl3_accuracy,
+        tbl4_comparison,
+        tbl5_summary,
+    )
+
+    return {
+        "fig1": fig1_energy_breakdown,
+        "fig3": fig3_smt_overhead,
+        "fig9a": lambda: fig9_microbench("a"),
+        "fig9b": lambda: fig9_microbench("b"),
+        "fig9c": lambda: fig9_microbench("c"),
+        "fig9d": lambda: fig9_microbench("d"),
+        "fig10": fig10_variant_breakdown,
+        "fig11": fig11_full_models,
+        "fig12": fig12_alexnet_per_layer,
+        "tbl1": tbl1_buffer_per_mac,
+        "tbl2": tbl2_s2ta_breakdown,
+        "tbl3": lambda: tbl3_accuracy(quick=True),
+        "tbl4-16nm": lambda: tbl4_comparison("16nm"),
+        "tbl4-65nm": lambda: tbl4_comparison("65nm"),
+        "tbl5": tbl5_summary,
+        "sec7": sec7_design_space,
+        "ablation-unroll": ablation_unroll_axis,
+        "ablation-bz": ablation_block_size,
+        "ablation-dap": ablation_dap_stages,
+    }
+
+
+def cmd_list_models(_args) -> str:
+    lines = ["available model specs:"]
+    for name in sorted(MODEL_SPECS):
+        spec = get_spec(name)
+        lines.append(f"  {name:<14} {spec.dataset:<10} "
+                     f"{len(spec.layers):>3} layers  "
+                     f"{spec.total_macs / 1e9:6.2f} G MACs  ({spec.notes})")
+    return "\n".join(lines)
+
+
+def cmd_list_accelerators(_args) -> str:
+    lines = ["available accelerators:"]
+    for key, factory in ACCELERATORS.items():
+        accel = factory()
+        lines.append(f"  {key:<12} {accel.name:<12} "
+                     f"{accel.hardware_macs:>5} MACs  "
+                     f"{accel.area_mm2():5.2f} mm^2 ({accel.tech})")
+    return "\n".join(lines)
+
+
+def cmd_run(args) -> str:
+    spec = get_spec(args.model)
+    factory = ACCELERATORS[args.accelerator]
+    try:
+        accel = factory(tech=args.tech)
+    except KeyError:
+        raise SystemExit(f"unknown tech {args.tech!r}")
+    run = accel.run_model(spec, conv_only=args.conv_only)
+    lines = [
+        f"{spec.name} on {accel.name} ({accel.tech}):",
+        f"  cycles     : {run.total_cycles:,}",
+        f"  runtime    : {run.runtime_s * 1e3:.3f} ms "
+        f"({run.inferences_per_second:,.0f} inf/s)",
+        f"  energy     : {run.energy_uj:,.1f} uJ "
+        f"({run.inferences_per_joule:,.0f} inf/J)",
+        f"  efficiency : {run.effective_tops_per_watt:.2f} TOPS/W effective",
+    ]
+    if args.per_layer:
+        lines.append(f"  {'layer':<16} {'cycles':>12} {'uJ':>9} {'bound':>7}")
+        for r in run.layer_results:
+            bound = "memory" if r.memory_bound else "compute"
+            lines.append(f"  {r.layer.name:<16} {r.cycles:>12,} "
+                         f"{r.energy_uj:>9.1f} {bound:>7}")
+    return "\n".join(lines)
+
+
+def cmd_experiment(args) -> str:
+    experiments = _experiments()
+    if args.artifact == "all":
+        return "\n\n".join(run().render()
+                           for name, run in experiments.items())
+    try:
+        runner = experiments[args.artifact]
+    except KeyError:
+        raise SystemExit(
+            f"unknown artifact {args.artifact!r}; choose from "
+            f"{', '.join(sorted(experiments))} or 'all'"
+        )
+    return runner().render()
+
+
+def cmd_sweep(args) -> str:
+    from repro.eval import sec7_design_space
+
+    return sec7_design_space(top=args.top).render()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="S2TA reproduction: models, accelerators, experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models").set_defaults(func=cmd_list_models)
+    sub.add_parser("list-accelerators").set_defaults(
+        func=cmd_list_accelerators)
+
+    run = sub.add_parser("run", help="run a model on an accelerator")
+    run.add_argument("model", choices=sorted(MODEL_SPECS))
+    run.add_argument("--accelerator", default="s2ta-aw",
+                     choices=sorted(ACCELERATORS))
+    run.add_argument("--tech", default="16nm")
+    run.add_argument("--conv-only", action="store_true")
+    run.add_argument("--per-layer", action="store_true")
+    run.set_defaults(func=cmd_run)
+
+    exp = sub.add_parser("experiment", help="reproduce a paper artifact")
+    exp.add_argument("artifact")
+    exp.set_defaults(func=cmd_experiment)
+
+    sweep = sub.add_parser("sweep", help="Sec. 7 design-space sweep")
+    sweep.add_argument("--top", type=int, default=8)
+    sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> str:
+    args = build_parser().parse_args(argv)
+    output = args.func(args)
+    print(output)
+    return output

@@ -1,0 +1,311 @@
+"""Density Bound Block (DBB) tensor format (paper Sec. 3.1, Fig. 4 and 5).
+
+A DBB tensor divides a data tensor into 1-D blocks of ``block_size`` (``BZ``)
+elements along the channel (innermost) dimension, and bounds the number of
+non-zero elements per block by ``max_nnz`` (``NNZ``). Each block is stored
+compressed: the (up to ``NNZ``) non-zero values, plus a ``BZ``-bit positional
+bitmask ``M`` with bit *i* set when expanded position *i* holds a non-zero.
+
+A block with fewer than ``NNZ`` non-zeros stores explicit zeros in the unused
+value slots (Fig. 5), so the compressed value payload always has a fixed
+size — this is what makes the hardware's worst-case workload statically
+known. The paper writes a DBB configuration as the ratio ``NNZ/BZ`` (e.g.
+``4/8``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DBBSpec",
+    "DBBBlock",
+    "DBBTensor",
+    "compress",
+    "compress_block",
+    "decompress",
+    "expand_block",
+    "pad_to_blocks",
+    "mask_to_positions",
+    "positions_to_mask",
+]
+
+
+@dataclass(frozen=True)
+class DBBSpec:
+    """A DBB configuration ``NNZ/BZ``.
+
+    Parameters
+    ----------
+    block_size:
+        ``BZ``, number of expanded elements per block (paper uses 8).
+    max_nnz:
+        ``NNZ``, the density bound — maximum non-zeros per block.
+    """
+
+    block_size: int = 8
+    max_nnz: int = 4
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if not 0 < self.max_nnz <= self.block_size:
+            raise ValueError(
+                f"max_nnz must be in [1, block_size={self.block_size}], "
+                f"got {self.max_nnz}"
+            )
+
+    @property
+    def density_bound(self) -> float:
+        """Maximum density this spec permits (``NNZ / BZ``)."""
+        return self.max_nnz / self.block_size
+
+    @property
+    def is_dense(self) -> bool:
+        """True when the bound is vacuous (``NNZ == BZ``, dense fallback)."""
+        return self.max_nnz == self.block_size
+
+    @property
+    def ratio(self) -> str:
+        """The paper's ``NNZ/BZ`` notation, e.g. ``"4/8"``."""
+        return f"{self.max_nnz}/{self.block_size}"
+
+    def compressed_value_bytes(self, element_bytes: int = 1) -> int:
+        """Bytes of value payload per compressed block."""
+        return self.max_nnz * element_bytes
+
+    def mask_bytes(self) -> float:
+        """Bytes of positional bitmask per block (may be fractional)."""
+        return self.block_size / 8.0
+
+    def compressed_block_bytes(self, element_bytes: int = 1) -> float:
+        """Total compressed bytes per block: values plus bitmask."""
+        return self.compressed_value_bytes(element_bytes) + self.mask_bytes()
+
+    def compression_ratio(self, element_bytes: int = 1) -> float:
+        """Dense bytes over compressed bytes for one block."""
+        dense = self.block_size * element_bytes
+        return dense / self.compressed_block_bytes(element_bytes)
+
+    def with_nnz(self, max_nnz: int) -> "DBBSpec":
+        """Return a copy of this spec with a different density bound."""
+        return DBBSpec(block_size=self.block_size, max_nnz=max_nnz)
+
+
+def positions_to_mask(positions: Iterable[int], block_size: int) -> int:
+    """Encode non-zero positions as a bitmask (bit i == position i non-zero).
+
+    Matches Fig. 5/8 of the paper, where e.g. positions {0, 2, 3, 6} in a
+    BZ=8 block give ``M = 8'h4D`` (0b0100_1101).
+    """
+    mask = 0
+    for pos in positions:
+        if not 0 <= pos < block_size:
+            raise ValueError(f"position {pos} out of range for BZ={block_size}")
+        if mask & (1 << pos):
+            raise ValueError(f"duplicate position {pos}")
+        mask |= 1 << pos
+    return mask
+
+
+def mask_to_positions(mask: int, block_size: int) -> List[int]:
+    """Decode a positional bitmask into an ascending list of positions."""
+    if mask < 0 or mask >= (1 << block_size):
+        raise ValueError(f"mask {mask:#x} out of range for BZ={block_size}")
+    return [i for i in range(block_size) if mask & (1 << i)]
+
+
+@dataclass(frozen=True)
+class DBBBlock:
+    """One compressed DBB block.
+
+    ``values`` always has exactly ``spec.max_nnz`` entries; trailing slots of
+    a block with fewer non-zeros hold explicit zeros and their positions are
+    absent from ``mask``. Values are stored in ascending position order,
+    which is the order the hardware streams them.
+    """
+
+    spec: DBBSpec
+    values: Tuple
+    mask: int
+
+    def __post_init__(self) -> None:
+        if len(self.values) != self.spec.max_nnz:
+            raise ValueError(
+                f"values must have {self.spec.max_nnz} slots, got {len(self.values)}"
+            )
+        positions = mask_to_positions(self.mask, self.spec.block_size)
+        if len(positions) > self.spec.max_nnz:
+            raise ValueError(
+                f"mask {self.mask:#x} encodes {len(positions)} non-zeros, "
+                f"exceeding the density bound {self.spec.ratio}"
+            )
+
+    @property
+    def nnz(self) -> int:
+        """Number of positions present in the bitmask."""
+        return bin(self.mask).count("1")
+
+    @property
+    def positions(self) -> List[int]:
+        """Ascending expanded positions of the stored non-zeros."""
+        return mask_to_positions(self.mask, self.spec.block_size)
+
+    def expand(self) -> np.ndarray:
+        """Expand back to the dense ``BZ``-element block."""
+        return expand_block(self, dtype=None)
+
+    def nonzero_pairs(self) -> List[Tuple[int, object]]:
+        """(position, value) pairs for the stored non-zeros, in stream order."""
+        return list(zip(self.positions, self.values))
+
+
+def compress_block(block: Sequence, spec: DBBSpec) -> DBBBlock:
+    """Compress one dense ``BZ``-element block into a :class:`DBBBlock`.
+
+    Raises
+    ------
+    ValueError
+        If the block violates the density bound (more than ``NNZ`` non-zeros).
+        Use :func:`repro.core.dap.dap_prune` or
+        :func:`repro.core.pruning.prune_weights_dbb` first to enforce it.
+    """
+    arr = np.asarray(block)
+    if arr.shape != (spec.block_size,):
+        raise ValueError(
+            f"block must have shape ({spec.block_size},), got {arr.shape}"
+        )
+    positions = np.flatnonzero(arr)
+    if len(positions) > spec.max_nnz:
+        raise ValueError(
+            f"block has {len(positions)} non-zeros, exceeds bound {spec.ratio}; "
+            f"prune first (DAP for activations, magnitude pruning for weights)"
+        )
+    mask = positions_to_mask(positions.tolist(), spec.block_size)
+    values = [arr[p] for p in positions]
+    values += [arr.dtype.type(0)] * (spec.max_nnz - len(values))
+    return DBBBlock(spec=spec, values=tuple(values), mask=mask)
+
+
+def expand_block(block: DBBBlock, dtype=None) -> np.ndarray:
+    """Expand a compressed block back to its dense ``BZ`` elements."""
+    spec = block.spec
+    if dtype is None:
+        dtype = np.asarray(block.values).dtype
+    out = np.zeros(spec.block_size, dtype=dtype)
+    for pos, val in zip(block.positions, block.values):
+        out[pos] = val
+    return out
+
+
+def pad_to_blocks(vector: np.ndarray, block_size: int) -> np.ndarray:
+    """Zero-pad a 1-D vector so its length is a multiple of ``block_size``."""
+    vector = np.asarray(vector)
+    if vector.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {vector.shape}")
+    remainder = vector.shape[0] % block_size
+    if remainder == 0:
+        return vector
+    pad = block_size - remainder
+    return np.concatenate([vector, np.zeros(pad, dtype=vector.dtype)])
+
+
+class DBBTensor:
+    """A 2-D tensor compressed in DBB format along its last axis.
+
+    The paper blocks tensors along the channel dimension (Fig. 5); after
+    im2col lowering (``repro.nn.im2col``) that is the GEMM reduction axis,
+    which is the last axis here. Rows are independent; each row is a
+    sequence of compressed blocks.
+
+    Attributes
+    ----------
+    spec: the DBB configuration.
+    shape: the original (unpadded) dense shape ``(rows, cols)``.
+    blocks: ``blocks[r][b]`` is block *b* of row *r*.
+    """
+
+    def __init__(self, spec: DBBSpec, shape: Tuple[int, int],
+                 blocks: List[List[DBBBlock]]):
+        self.spec = spec
+        self.shape = shape
+        self.blocks = blocks
+
+    @property
+    def blocks_per_row(self) -> int:
+        return len(self.blocks[0]) if self.blocks else 0
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def nnz(self) -> int:
+        """Total non-zeros stored (from the bitmasks)."""
+        return sum(b.nnz for row in self.blocks for b in row)
+
+    @property
+    def density(self) -> float:
+        """Stored non-zeros over the original dense element count."""
+        rows, cols = self.shape
+        return self.nnz / float(rows * cols) if rows * cols else 0.0
+
+    def storage_bytes(self, element_bytes: int = 1) -> float:
+        """Compressed footprint: fixed value payload + bitmasks."""
+        n_blocks = self.num_rows * self.blocks_per_row
+        return n_blocks * self.spec.compressed_block_bytes(element_bytes)
+
+    def dense_bytes(self, element_bytes: int = 1) -> int:
+        rows, cols = self.shape
+        return rows * cols * element_bytes
+
+    def to_dense(self, dtype=None) -> np.ndarray:
+        """Decompress to the original dense array (padding removed)."""
+        rows, cols = self.shape
+        bz = self.spec.block_size
+        out = np.zeros((rows, self.blocks_per_row * bz),
+                       dtype=dtype if dtype is not None else np.float64)
+        for r, row in enumerate(self.blocks):
+            for b, block in enumerate(row):
+                out[r, b * bz:(b + 1) * bz] = expand_block(block, dtype=out.dtype)
+        return out[:, :cols]
+
+    def row_blocks(self, row: int) -> List[DBBBlock]:
+        return self.blocks[row]
+
+    def __repr__(self) -> str:
+        return (f"DBBTensor(spec={self.spec.ratio}, shape={self.shape}, "
+                f"density={self.density:.3f})")
+
+
+def compress(matrix: np.ndarray, spec: DBBSpec) -> DBBTensor:
+    """Compress a 1-D or 2-D array into DBB format along the last axis.
+
+    The array must already satisfy the density bound per block; 1-D input is
+    treated as a single row. Rows are zero-padded to a whole number of
+    blocks (padding never violates the bound).
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    if matrix.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D input, got shape {matrix.shape}")
+    rows, cols = matrix.shape
+    bz = spec.block_size
+    blocks: List[List[DBBBlock]] = []
+    for r in range(rows):
+        padded = pad_to_blocks(matrix[r], bz)
+        row_blocks = [
+            compress_block(padded[b * bz:(b + 1) * bz], spec)
+            for b in range(padded.shape[0] // bz)
+        ]
+        blocks.append(row_blocks)
+    return DBBTensor(spec=spec, shape=(rows, cols), blocks=blocks)
+
+
+def decompress(tensor: DBBTensor, dtype=None) -> np.ndarray:
+    """Inverse of :func:`compress` (round-trips exactly)."""
+    return tensor.to_dense(dtype=dtype)

@@ -1,0 +1,136 @@
+"""Dense and DBB-sparse GEMM reference kernels.
+
+These are the functional ground truth the hardware models are validated
+against. All kernels compute ``C = A @ W`` with INT32 accumulation of INT8
+operands (the accelerator's native mode) and are bit-exact with numpy's
+dense matmul on the decompressed operands.
+
+Orientation convention (matches ``repro.nn.im2col`` lowering):
+
+- ``A`` is ``(M, K)`` — activations, M output pixels by K reduction.
+- ``W`` is ``(K, N)`` — weights, N output channels.
+- DBB blocks run along ``K`` (the channel/reduction axis), so activations
+  are compressed row-wise and weights column-wise; :class:`DBBTensor`
+  stores blocks along the *last* axis, so the weight operand is compressed
+  from ``W.T`` (shape ``(N, K)``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.dbb import DBBSpec, DBBTensor, compress
+
+__all__ = [
+    "dense_gemm",
+    "dbb_gemm",
+    "joint_dbb_gemm",
+    "compress_operands",
+    "gemm_mac_count",
+]
+
+
+def dense_gemm(a: np.ndarray, w: np.ndarray, accumulate_dtype=np.int64) -> np.ndarray:
+    """Reference dense GEMM with wide accumulation.
+
+    INT8 inputs accumulate in ``accumulate_dtype`` (INT32 in hardware;
+    int64 here to sidestep numpy overflow semantics — values are validated
+    to fit INT32 by the hardware models).
+    """
+    a = np.asarray(a)
+    w = np.asarray(w)
+    if a.ndim != 2 or w.ndim != 2 or a.shape[1] != w.shape[0]:
+        raise ValueError(f"shape mismatch: A {a.shape} @ W {w.shape}")
+    return a.astype(accumulate_dtype) @ w.astype(accumulate_dtype)
+
+
+def compress_operands(
+    a: np.ndarray,
+    w: np.ndarray,
+    a_spec: DBBSpec,
+    w_spec: DBBSpec,
+) -> Tuple[DBBTensor, DBBTensor]:
+    """Compress GEMM operands: A row-blocked, W column-blocked (as W.T)."""
+    a_dbb = compress(a, a_spec)
+    w_dbb = compress(np.asarray(w).T, w_spec)
+    return a_dbb, w_dbb
+
+
+def dbb_gemm(a: np.ndarray, w_dbb: DBBTensor, accumulate_dtype=np.int64) -> np.ndarray:
+    """GEMM with dense activations and DBB-compressed weights (S2TA-W mode).
+
+    Walks compressed weight blocks the way the DP4M8 datapath does: for
+    each stored non-zero weight, the positional bitmask steers the matching
+    activation element into the MAC (the 8:1 mux of Fig. 6c). Never touches
+    pruned weight positions.
+    """
+    a = np.asarray(a)
+    m, k = a.shape
+    n = w_dbb.num_rows
+    bz = w_dbb.spec.block_size
+    out = np.zeros((m, n), dtype=accumulate_dtype)
+    a_wide = a.astype(accumulate_dtype)
+    for col in range(n):
+        for b, block in enumerate(w_dbb.row_blocks(col)):
+            base = b * bz
+            for pos, val in block.nonzero_pairs():
+                idx = base + pos
+                if idx >= k:
+                    continue  # zero padding of the last block
+                out[:, col] += a_wide[:, idx] * accumulate_dtype(val)
+    return out
+
+
+def joint_dbb_gemm(
+    a_dbb: DBBTensor, w_dbb: DBBTensor, accumulate_dtype=np.int64
+) -> np.ndarray:
+    """GEMM with both operands DBB-compressed (S2TA-AW mode).
+
+    Models the time-unrolled DP1M4 stream (Fig. 6e): activation non-zeros
+    of each block are serialized; per element, a MAC fires only when the
+    weight bitmask has a matching non-zero at the same expanded position
+    (otherwise the cycle is clock-gated — the product would be zero).
+    Bit-exact with the dense product of the decompressed operands.
+    """
+    if a_dbb.spec.block_size != w_dbb.spec.block_size:
+        raise ValueError(
+            f"operand block sizes differ: A BZ={a_dbb.spec.block_size}, "
+            f"W BZ={w_dbb.spec.block_size}"
+        )
+    if a_dbb.blocks_per_row != w_dbb.blocks_per_row:
+        raise ValueError(
+            f"reduction lengths differ: A has {a_dbb.blocks_per_row} blocks, "
+            f"W has {w_dbb.blocks_per_row}"
+        )
+    m = a_dbb.num_rows
+    n = w_dbb.num_rows
+    out = np.zeros((m, n), dtype=accumulate_dtype)
+    for row in range(m):
+        a_blocks = a_dbb.row_blocks(row)
+        for col in range(n):
+            w_blocks = w_dbb.row_blocks(col)
+            acc = accumulate_dtype(0)
+            for a_block, w_block in zip(a_blocks, w_blocks):
+                match = a_block.mask & w_block.mask
+                if not match:
+                    continue
+                a_vals = dict(a_block.nonzero_pairs())
+                w_vals = dict(w_block.nonzero_pairs())
+                pos = 0
+                mask = match
+                while mask:
+                    if mask & 1:
+                        acc += accumulate_dtype(a_vals[pos]) * accumulate_dtype(
+                            w_vals[pos]
+                        )
+                    mask >>= 1
+                    pos += 1
+            out[row, col] = acc
+    return out
+
+
+def gemm_mac_count(m: int, k: int, n: int) -> int:
+    """Dense MAC count of an ``(M, K) @ (K, N)`` GEMM."""
+    return m * k * n

@@ -1,0 +1,134 @@
+"""Static weight DBB pruning (paper Sec. 4 and 8.1, "Training for W-DBB").
+
+Weights are pruned *per block*: within every ``BZ`` block along the channel
+axis, only the ``NNZ`` largest-magnitude elements are kept. The paper runs
+this progressively over 20–50 epochs ("progressively pruning small-magnitude
+weights within each DBB block"); :class:`PruningSchedule` models the ramp.
+
+Tie-breaking matches the hardware DAP comparator cascade
+(:mod:`repro.arch.dap_hw`): among equal magnitudes the lowest expanded
+position wins, so software pruning and hardware selection agree bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dbb import DBBSpec
+
+__all__ = [
+    "topk_block_mask",
+    "prune_blocks",
+    "prune_weights_dbb",
+    "is_dbb_compliant",
+    "PruningSchedule",
+]
+
+
+def topk_block_mask(blocks: np.ndarray, keep: int) -> np.ndarray:
+    """Boolean keep-mask of the ``keep`` largest-magnitude entries per row.
+
+    ``blocks`` has shape ``(n_blocks, BZ)``. Zeros never count as kept
+    unless a block has fewer than ``keep`` non-zeros, in which case all of
+    its non-zeros are kept and the mask has fewer than ``keep`` bits set.
+    Ties break toward the lowest index (stable sort), matching hardware.
+    """
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 2:
+        raise ValueError(f"expected (n_blocks, BZ), got shape {blocks.shape}")
+    n, bz = blocks.shape
+    if not 0 <= keep <= bz:
+        raise ValueError(f"keep must be in [0, BZ={bz}], got {keep}")
+    magnitude = np.abs(blocks.astype(np.float64))
+    # Stable argsort on -magnitude: equal magnitudes keep ascending index.
+    order = np.argsort(-magnitude, axis=1, kind="stable")
+    mask = np.zeros((n, bz), dtype=bool)
+    rows = np.arange(n)[:, None]
+    top = order[:, :keep]
+    mask[rows, top] = True
+    return mask & (blocks != 0)
+
+
+def prune_blocks(blocks: np.ndarray, keep: int) -> np.ndarray:
+    """Zero all but the ``keep`` largest-magnitude entries of each row."""
+    mask = topk_block_mask(blocks, keep)
+    return np.where(mask, blocks, np.zeros_like(blocks))
+
+
+def _as_blocks(tensor: np.ndarray, block_size: int) -> np.ndarray:
+    flat = tensor.reshape(-1)
+    if flat.size % block_size:
+        raise ValueError(
+            f"tensor size {flat.size} is not a multiple of BZ={block_size}; "
+            f"pad the channel axis first"
+        )
+    return flat.reshape(-1, block_size)
+
+
+def prune_weights_dbb(
+    weights: np.ndarray, spec: DBBSpec, keep: Optional[int] = None
+) -> np.ndarray:
+    """Prune a weight tensor to satisfy a DBB bound (one-shot Top-NNZ).
+
+    Blocks run along the last axis, which after im2col lowering is the GEMM
+    reduction (input-channel) axis. The last axis length must be a multiple
+    of ``BZ``. Returns a dense-layout array with the same shape and dtype.
+    """
+    weights = np.asarray(weights)
+    keep = spec.max_nnz if keep is None else keep
+    original_shape = weights.shape
+    blocks = _as_blocks(weights, spec.block_size)
+    pruned = prune_blocks(blocks, keep)
+    return pruned.reshape(original_shape).astype(weights.dtype)
+
+
+def is_dbb_compliant(tensor: np.ndarray, spec: DBBSpec) -> bool:
+    """True when no block exceeds the spec's NNZ bound."""
+    tensor = np.asarray(tensor)
+    flat = tensor.reshape(-1)
+    pad = (-flat.size) % spec.block_size
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad, dtype=flat.dtype)])
+    counts = np.count_nonzero(flat.reshape(-1, spec.block_size), axis=1)
+    return bool(np.all(counts <= spec.max_nnz))
+
+
+@dataclass
+class PruningSchedule:
+    """Progressive per-block magnitude pruning over fine-tuning epochs.
+
+    The paper prunes progressively until the DBB constraint is met
+    (Sec. 8.1). The schedule linearly ramps the per-block keep count from
+    ``BZ`` (dense) at ``start_epoch`` down to the target ``NNZ`` at
+    ``end_epoch``; between epochs the keep count is held.
+    """
+
+    spec: DBBSpec
+    start_epoch: int = 0
+    end_epoch: int = 20
+
+    def __post_init__(self) -> None:
+        if self.end_epoch < self.start_epoch:
+            raise ValueError("end_epoch must be >= start_epoch")
+
+    def keep_at(self, epoch: int) -> int:
+        """Per-block keep count in effect at ``epoch``."""
+        if epoch <= self.start_epoch:
+            return self.spec.block_size
+        if epoch >= self.end_epoch:
+            return self.spec.max_nnz
+        span = self.end_epoch - self.start_epoch
+        progress = (epoch - self.start_epoch) / span
+        keep_range = self.spec.block_size - self.spec.max_nnz
+        return self.spec.block_size - int(round(progress * keep_range))
+
+    def apply(self, weights: np.ndarray, epoch: int) -> np.ndarray:
+        """Prune ``weights`` to the keep count for ``epoch``."""
+        return prune_weights_dbb(weights, self.spec, keep=self.keep_at(epoch))
+
+    def done(self, epoch: int) -> bool:
+        """True once the target NNZ bound is in force."""
+        return epoch >= self.end_epoch

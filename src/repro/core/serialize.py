@@ -1,0 +1,83 @@
+"""DBB byte-stream serialization — the SRAM storage format.
+
+A compressed DBB tensor is stored in S2TA's buffers as, per block, the
+``NNZ`` INT8 value bytes followed by the ``BZ/8`` positional-bitmask
+bytes (Fig. 5). This module packs/unpacks that exact layout, so the
+byte counts the energy model charges (``compressed_block_bytes``) are
+the bytes actually produced here — asserted in the tests.
+
+Stream layout::
+
+    header: BZ (1 byte) | NNZ (1 byte) | rows (4) | cols (4)
+    body:   row-major blocks of [values x NNZ][mask x ceil(BZ/8)]
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.dbb import DBBBlock, DBBSpec, DBBTensor
+
+__all__ = ["pack", "unpack", "packed_size_bytes"]
+
+_HEADER = struct.Struct("<BBII")
+
+
+def packed_size_bytes(spec: DBBSpec, rows: int, cols: int) -> int:
+    """Exact byte size of the packed stream for a given tensor shape."""
+    import math
+
+    blocks_per_row = math.ceil(cols / spec.block_size)
+    mask_bytes = math.ceil(spec.block_size / 8)
+    block_bytes = spec.max_nnz + mask_bytes
+    return _HEADER.size + rows * blocks_per_row * block_bytes
+
+
+def pack(tensor: DBBTensor) -> bytes:
+    """Serialize a DBB tensor to the SRAM byte layout."""
+    spec = tensor.spec
+    if spec.block_size > 64:
+        raise ValueError(f"block_size {spec.block_size} exceeds the "
+                         f"64-element format limit")
+    mask_bytes = (spec.block_size + 7) // 8
+    out = bytearray(_HEADER.pack(spec.block_size, spec.max_nnz,
+                                 tensor.shape[0], tensor.shape[1]))
+    for row in tensor.blocks:
+        for block in row:
+            values = np.asarray(block.values, dtype=np.int8)
+            out += values.tobytes()
+            out += int(block.mask).to_bytes(mask_bytes, "little")
+    return bytes(out)
+
+
+def unpack(data: bytes) -> DBBTensor:
+    """Inverse of :func:`pack` (round-trips exactly)."""
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated DBB stream: missing header")
+    bz, nnz, rows, cols = _HEADER.unpack_from(data, 0)
+    spec = DBBSpec(block_size=bz, max_nnz=nnz)
+    expected = packed_size_bytes(spec, rows, cols)
+    if len(data) != expected:
+        raise ValueError(
+            f"truncated DBB stream: got {len(data)} bytes, "
+            f"expected {expected}"
+        )
+    mask_bytes = (bz + 7) // 8
+    block_bytes = nnz + mask_bytes
+    blocks_per_row = -(-cols // bz)
+    offset = _HEADER.size
+    all_rows = []
+    for _r in range(rows):
+        row_blocks = []
+        for _b in range(blocks_per_row):
+            values = np.frombuffer(
+                data, dtype=np.int8, count=nnz, offset=offset)
+            mask = int.from_bytes(
+                data[offset + nnz:offset + block_bytes], "little")
+            row_blocks.append(
+                DBBBlock(spec=spec, values=tuple(values.tolist()), mask=mask))
+            offset += block_bytes
+        all_rows.append(row_blocks)
+    return DBBTensor(spec=spec, shape=(rows, cols), blocks=all_rows)

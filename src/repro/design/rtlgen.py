@@ -1,0 +1,55 @@
+"""Structural netlist generation — the RTL-generator analogue.
+
+The paper's methodology generates synthesizable Verilog for each design
+point (Sec. 7). Synthesis is out of scope here, but the *structural*
+output — the module hierarchy, instance counts and port widths the
+generator would emit — is reproduced as text. This is what the
+design-space sweep hands to the (modelled) EDA flow, and it doubles as
+a human-readable datasheet for a configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.design.space import DesignPoint
+from repro.models.specs import BLOCK_SIZE
+
+__all__ = ["generate_structure"]
+
+
+def _dp_unit(point: DesignPoint) -> str:
+    if point.time_unrolled:
+        return f"DP1M{point.weight_nnz}"
+    return f"DP{point.weight_nnz}M{BLOCK_SIZE}"
+
+
+def generate_structure(point: DesignPoint) -> str:
+    """Emit the module-hierarchy summary for one design point.
+
+    The format is a stable, parseable indented tree; each line is
+    ``<instances>x <module> <params>``.
+    """
+    dp = _dp_unit(point)
+    macs_per_dp = 1 if point.time_unrolled else point.weight_nnz
+    dps_per_tpe = point.tpe_a * point.tpe_c
+    tpes = point.rows * point.cols
+    act_port_bits = point.tpe_a * (BLOCK_SIZE + point.weight_nnz) * 8 // BLOCK_SIZE
+    w_port_bits = point.tpe_c * (point.weight_nnz * 8 + BLOCK_SIZE)
+    lines: List[str] = [
+        f"module s2ta_top  // {point.notation}"
+        f"{' time-unrolled' if point.time_unrolled else ' dot-product'}",
+        f"  1x weight_sram  bytes=524288 ports=1 double_buffered=1",
+        f"  1x activation_sram  bytes=2097152 ports=1 double_buffered=1",
+        f"  1x dap_array  stages=5 comparators_per_stage={BLOCK_SIZE - 1}",
+        f"  4x cortex_m33  ctrl_sram_bytes=65536 simd=1",
+        f"  1x tpe_array  rows={point.rows} cols={point.cols}",
+        f"    {tpes}x tpe  a={point.tpe_a} b={point.weight_nnz} "
+        f"c={point.tpe_c} act_port_bits={act_port_bits} "
+        f"w_port_bits={w_port_bits}",
+        f"      {dps_per_tpe}x {dp.lower()}  macs={macs_per_dp} "
+        f"mux_width={BLOCK_SIZE if not point.time_unrolled else point.weight_nnz} "
+        f"acc_bits=32",
+        f"  // total hardware MACs: {point.hardware_macs}",
+    ]
+    return "\n".join(lines)

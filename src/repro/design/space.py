@@ -1,0 +1,190 @@
+"""AxBxC_MxN design-space enumeration and PPA evaluation (Sec. 7).
+
+A design point fixes the TPE outer-product dims (A, C), the array grid
+(M, N) and the datapath style (time-unrolled DP1M4 vs dot-product
+DP4M8, i.e. B=4 weight NNZ in both cases). The paper constrains the
+space to 4 TOPS peak dense throughput (2048 MACs at 1 GHz in 16 nm),
+sweeps, keeps the area-vs-power frontier, and picks the lowest-power
+point: the time-unrolled 8x4x4_8x8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.accel.s2ta import S2TAAW, S2TAW
+from repro.models.specs import LayerSpec
+from repro.workloads.typical import typical_conv_layer
+
+__all__ = [
+    "DesignPoint",
+    "PPA",
+    "enumerate_design_space",
+    "evaluate_point",
+    "pareto_frontier",
+    "select_lowest_power",
+    "TARGET_MACS",
+]
+
+# 4 TOPS peak dense at 1 GHz (2 ops/MAC) = 2048 MACs.
+TARGET_MACS = 2048
+
+_GRID_DIMS = (1, 2, 4, 8, 16, 32, 64, 128)
+_TPE_DIMS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One AxBxC_MxN configuration."""
+
+    tpe_a: int
+    tpe_c: int
+    rows: int
+    cols: int
+    time_unrolled: bool = True  # DP1M4 (else dot-product DP4M8)
+    weight_nnz: int = 4         # B
+
+    @property
+    def notation(self) -> str:
+        """The paper's AxBxC_MxN notation."""
+        return (f"{self.tpe_a}x{self.weight_nnz}x{self.tpe_c}"
+                f"_{self.rows}x{self.cols}")
+
+    @property
+    def hardware_macs(self) -> int:
+        per_tpe = self.tpe_a * self.tpe_c
+        if not self.time_unrolled:
+            per_tpe *= self.weight_nnz
+        return self.rows * self.cols * per_tpe
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.tpe_a == 1 and self.tpe_c == 1
+
+    @property
+    def clock_ghz(self) -> float:
+        """Achievable clock: larger TPEs lengthen the operand broadcast
+        and reduction paths, "marginally reducing clock frequency"
+        (Sec. 6.1). ~4% derate per TPE dim step beyond the paper's
+        8+4 design point."""
+        excess = max(0, self.tpe_a + self.tpe_c - 12)
+        return 1.0 / (1.0 + 0.04 * excess)
+
+    @property
+    def peak_tops(self) -> float:
+        """Peak dense throughput at the achievable clock."""
+        return 2.0 * self.hardware_macs * self.clock_ghz / 1e3
+
+    @property
+    def meets_throughput(self) -> bool:
+        """The paper's hard constraint: 4 TOPS peak dense (Sec. 7)."""
+        return self.peak_tops >= 4.0 - 1e-9
+
+    def build(self, tech: str = "16nm"):
+        """Instantiate the accelerator model for this point."""
+        if self.time_unrolled:
+            return S2TAAW(tech=tech, rows=self.rows, cols=self.cols,
+                          tpe_a=self.tpe_a, tpe_c=self.tpe_c)
+        return S2TAW(tech=tech, rows=self.rows, cols=self.cols,
+                     tpe_a=self.tpe_a, tpe_c=self.tpe_c)
+
+
+@dataclass(frozen=True)
+class PPA:
+    """Evaluated power/performance/area of a design point."""
+
+    point: DesignPoint
+    power_mw: float
+    area_mm2: float
+    cycles: int
+    energy_uj: float
+
+    def dominates(self, other: "PPA") -> bool:
+        """Pareto dominance on (power, area) — lower is better."""
+        return (self.power_mw <= other.power_mw
+                and self.area_mm2 <= other.area_mm2
+                and (self.power_mw < other.power_mw
+                     or self.area_mm2 < other.area_mm2))
+
+
+def enumerate_design_space(
+    target_macs: int = TARGET_MACS,
+    time_unrolled: bool = True,
+    max_tpe: int = 16,
+    max_aspect: float = 4.0,
+) -> Iterator[DesignPoint]:
+    """All configurations hitting the MAC budget exactly.
+
+    ``max_aspect`` bounds the array and TPE aspect ratios — extremely
+    skewed arrays are excluded as they would not close timing (the
+    paper notes larger TPEs marginally reduce clock frequency).
+    """
+    mac_multiplier = 1 if time_unrolled else 4
+    for tpe_a in _TPE_DIMS:
+        for tpe_c in _TPE_DIMS:
+            if tpe_a > max_tpe or tpe_c > max_tpe:
+                continue
+            per_tpe = tpe_a * tpe_c * mac_multiplier
+            if target_macs % per_tpe:
+                continue
+            grid = target_macs // per_tpe
+            for rows in _GRID_DIMS:
+                if grid % rows:
+                    continue
+                cols = grid // rows
+                if cols not in _GRID_DIMS:
+                    continue
+                if max(rows / cols, cols / rows) > max_aspect:
+                    continue
+                if tpe_a > 1 and tpe_c > 1:
+                    if max(tpe_a / tpe_c, tpe_c / tpe_a) > max_aspect:
+                        continue
+                point = DesignPoint(tpe_a=tpe_a, tpe_c=tpe_c,
+                                    rows=rows, cols=cols,
+                                    time_unrolled=time_unrolled)
+                if point.meets_throughput:
+                    yield point
+
+
+def evaluate_point(
+    point: DesignPoint,
+    layer: Optional[LayerSpec] = None,
+    tech: str = "16nm",
+) -> PPA:
+    """Run the reference workload on a design point and report PPA."""
+    layer = layer or typical_conv_layer(0.5, 0.5)
+    accel = point.build(tech=tech)
+    accel.clock_ghz = accel.clock_ghz * point.clock_ghz  # TPE derate
+    result = accel.run_layer(layer)
+    runtime_s = result.cycles / (accel.clock_ghz * 1e9)
+    power_mw = (result.energy_pj * 1e-12) / runtime_s * 1e3 if runtime_s else 0.0
+    return PPA(
+        point=point,
+        power_mw=power_mw,
+        area_mm2=accel.area_mm2(),
+        cycles=result.cycles,
+        energy_uj=result.breakdown.total_uj,
+    )
+
+
+def pareto_frontier(evaluations: List[PPA]) -> List[PPA]:
+    """Non-dominated points on the area-vs-power plane."""
+    frontier = [
+        ppa for ppa in evaluations
+        if not any(other.dominates(ppa) for other in evaluations)
+    ]
+    return sorted(frontier, key=lambda p: p.power_mw)
+
+
+def select_lowest_power(
+    evaluations: List[PPA], area_budget_mm2: float = math.inf
+) -> PPA:
+    """The paper's selection rule: lowest power within the area budget."""
+    feasible = [p for p in evaluations if p.area_mm2 <= area_budget_mm2]
+    if not feasible:
+        raise ValueError(
+            f"no design fits the {area_budget_mm2} mm^2 budget"
+        )
+    return min(feasible, key=lambda p: p.energy_uj)

@@ -1,0 +1,83 @@
+"""Per-event energy and per-structure area constants (16 nm).
+
+These constants are the calibration layer between event counts and
+joules/mm². They are anchored to the paper's own published data points
+(see DESIGN.md Sec. 6); the derivation:
+
+- SA-ZVCG runs 2048 MACs at 1 GHz and 10.5 TOPS/W at 50%/50% sparsity
+  (Table 4) -> total ~0.19 pJ per MAC slot; ZVCG saves 25% vs dense
+  (Sec. 8.4) -> dense total ~0.253 pJ/slot.
+- Fig. 1 splits that dense total: MAC 20% (0.0506 pJ), PE-array buffers
+  49% (0.124 pJ = 2 operand hops + 1 accumulator RMW), SRAM 21%
+  (0.053 pJ amortized over the 32x64 array's reuse -> per-byte costs),
+  activation function 10% (0.0253 pJ/slot = ~52 pJ/cycle for the whole
+  MCU cluster — which independently matches Table 2's 50.4 mW at 1 GHz).
+- The 25% ZVCG saving fixes the gated-event residual at ~45% of the
+  active cost (clock tree + leakage left after gating).
+- SA-SMT's +43% energy vs SA-ZVCG (Fig. 10) fixes the FIFO op cost.
+- Table 2's 2% DAP power share fixes the comparator cost.
+- Table 4's 16 nm areas, combined with Table 1's buffer bytes/MAC, fix
+  the per-MAC and per-buffer-byte areas.
+
+Absolute pJ values are plausible for 16 nm INT8 but the reproduction
+target is the *ratios*; all of the paper's comparisons are relative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "DEFAULT_COSTS", "GATED_RESIDUAL"]
+
+# Fraction of an event's active energy still burned when clock-gated.
+GATED_RESIDUAL = 0.45
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Energy per event (pJ) and area per structure (um^2 / mm^2), 16 nm."""
+
+    # --- datapath ---
+    mac_pj: float = 0.0506          # INT8 multiply-accumulate
+    gated_mac_pj: float = 0.0506 * GATED_RESIDUAL
+    mux_pj: float = 0.002           # DBB steering mux select
+    # --- PE-array buffers ---
+    operand_reg_pj: float = 0.031   # 8-bit operand pipeline register hop
+    gated_operand_reg_pj: float = 0.031 * GATED_RESIDUAL
+    acc_reg_pj: float = 0.062       # 32-bit local accumulator RMW
+    gated_acc_reg_pj: float = 0.062 * GATED_RESIDUAL
+    fifo_op_pj: float = 0.24        # SMT staging FIFO push or pop
+    scatter_acc_pj: float = 0.65    # outer-product distributed-accum RMW
+    gather_op_pj: float = 0.22      # non-zero matching / prefix-sum step
+    # --- SRAM (per byte); AB is 4x larger, banking keeps the gap mild ---
+    sram_ab_read_pj: float = 1.30   # 2 MB activation buffer
+    sram_wb_read_pj: float = 1.05   # 0.5 MB weight buffer
+    sram_ab_write_pj: float = 1.30
+    # --- DAP (per comparator op, incl. pipeline registers) ---
+    dap_compare_pj: float = 0.20
+    # --- MCU cluster background (per accelerator cycle): activation
+    # functions, pooling, requantization, DMA control on 4x Cortex-M33 ---
+    mcu_cluster_pj_per_cycle: float = 51.8
+
+    # --- area (um^2 / mm^2), fitted to Table 4's 16 nm areas ---
+    mac_area_um2: float = 237.0     # INT8 MAC incl. local control
+    buffer_area_um2_per_byte: float = 17.4   # FF-based PE buffer storage
+    sram_area_mm2_per_mb: float = 1.08
+    mcu_area_mm2: float = 0.075     # Cortex-M33 + 64 KB control store
+    dap_area_mm2: float = 0.05      # the full 5-stage DAP array
+
+    def __post_init__(self) -> None:
+        for name in ("mac_pj", "operand_reg_pj", "acc_reg_pj",
+                     "sram_ab_read_pj", "sram_wb_read_pj",
+                     "mcu_cluster_pj_per_cycle"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.gated_mac_pj > self.mac_pj:
+            raise ValueError("gated MAC cannot cost more than a fired MAC")
+        if self.gated_operand_reg_pj > self.operand_reg_pj:
+            raise ValueError("gated register cannot cost more than active")
+        if self.gated_acc_reg_pj > self.acc_reg_pj:
+            raise ValueError("gated accumulator cannot cost more than active")
+
+
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,52 @@
+"""Technology nodes and scaling.
+
+The paper implements S2TA in TSMC 16 nm FinFET (1 GHz) and TSMC 65 nm
+(500 MHz), and compares against SparTen's 45 nm numbers (Sec. 7).
+Dynamic energy scales roughly with ``C * V^2``; the factors below follow
+standard planar->FinFET scaling surveys and are *relative to 16 nm*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["TechNode", "TECH_NODES", "get_tech"]
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """One process node's scaling relative to the 16 nm baseline."""
+
+    name: str
+    energy_scale: float   # per-event dynamic energy multiplier
+    area_scale: float     # per-structure area multiplier
+    clock_ghz: float      # nominal accelerator clock at this node
+
+    def __post_init__(self) -> None:
+        if self.energy_scale <= 0 or self.area_scale <= 0 or self.clock_ghz <= 0:
+            raise ValueError(f"scales must be positive: {self}")
+
+    @property
+    def cycle_time_ns(self) -> float:
+        return 1.0 / self.clock_ghz
+
+
+TECH_NODES: Dict[str, TechNode] = {
+    # Baseline: the paper's 16 nm FinFET implementation at 1 GHz.
+    "16nm": TechNode("16nm", energy_scale=1.0, area_scale=1.0, clock_ghz=1.0),
+    # The paper's 65 nm re-implementation runs at 500 MHz; planar 65 nm
+    # dynamic energy is ~6x 16 nm FinFET and density ~9x worse.
+    "65nm": TechNode("65nm", energy_scale=6.0, area_scale=9.0, clock_ghz=0.5),
+    # SparTen's node (used only to re-price its published design point).
+    "45nm": TechNode("45nm", energy_scale=3.5, area_scale=5.0, clock_ghz=0.8),
+}
+
+
+def get_tech(name: str) -> TechNode:
+    try:
+        return TECH_NODES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown technology node {name!r}; available: {sorted(TECH_NODES)}"
+        ) from None

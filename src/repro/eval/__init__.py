@@ -1,0 +1,48 @@
+"""Experiment runners reproducing every table and figure.
+
+One function per paper artifact (see DESIGN.md Sec. 4 for the index);
+each returns an :class:`~repro.eval.tables.ExperimentResult` whose
+``render()`` prints the same rows/series the paper reports, side by side
+with the paper's published values where applicable.
+"""
+
+from repro.eval.ablations import (
+    ablation_block_size,
+    ablation_dap_stages,
+    ablation_unroll_axis,
+)
+from repro.eval.experiments import (
+    fig1_energy_breakdown,
+    fig3_smt_overhead,
+    fig9_microbench,
+    fig10_variant_breakdown,
+    fig11_full_models,
+    fig12_alexnet_per_layer,
+    sec7_design_space,
+    tbl1_buffer_per_mac,
+    tbl2_s2ta_breakdown,
+    tbl3_accuracy,
+    tbl4_comparison,
+    tbl5_summary,
+)
+from repro.eval.tables import ExperimentResult, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "fig1_energy_breakdown",
+    "fig3_smt_overhead",
+    "fig9_microbench",
+    "fig10_variant_breakdown",
+    "fig11_full_models",
+    "fig12_alexnet_per_layer",
+    "tbl1_buffer_per_mac",
+    "tbl2_s2ta_breakdown",
+    "tbl3_accuracy",
+    "tbl4_comparison",
+    "tbl5_summary",
+    "sec7_design_space",
+    "ablation_unroll_axis",
+    "ablation_block_size",
+    "ablation_dap_stages",
+]

@@ -1,0 +1,164 @@
+"""Ablation studies over S2TA's design choices.
+
+Three ablations the paper's design rests on:
+
+- **Unrolling axis** (footnote 2): serialize activation blocks (S2TA-AW)
+  vs weight blocks (S2TA-WA). AW wins because per-layer *activation*
+  density varies 8/8..2/8 while weight density is fixed per model —
+  the variable axis should be the one with per-layer dynamic range.
+- **Block size** (Sec. 8.1): BZ=8 balances accuracy (larger blocks keep
+  more signal at the same density bound — this is why 4/8 beats A100's
+  2/4 despite the equal ratio) against hardware cost (mux width, mask
+  bits, DAP comparators all grow with BZ).
+- **DAP stage cap** (Sec. 6.2): the cascade is capped at 5 stages;
+  more stages buy almost nothing because layers needing >5/8 run dense
+  anyway, while fewer stages force denser layers to bypass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.accel import S2TAAW, S2TAWA, ZvcgSA
+from repro.core.dap import dap_keep_fraction
+from repro.core.dbb import DBBSpec
+from repro.core.sparsity import random_unstructured
+from repro.eval.tables import ExperimentResult
+from repro.models import get_spec
+
+__all__ = [
+    "ablation_unroll_axis",
+    "ablation_block_size",
+    "ablation_dap_stages",
+]
+
+FULL_MODELS = ("resnet50", "vgg16", "mobilenet_v1", "alexnet")
+
+
+def ablation_unroll_axis() -> ExperimentResult:
+    """S2TA-AW (variable A) vs S2TA-WA (variable W) on the full models."""
+    zvcg = ZvcgSA()
+    aw = S2TAAW()
+    wa = S2TAWA()
+    rows = []
+    for name in FULL_MODELS:
+        spec = get_spec(name)
+        base = zvcg.run_model(spec, conv_only=True)
+        run_aw = aw.run_model(spec, conv_only=True)
+        run_wa = wa.run_model(spec, conv_only=True)
+        pruned = [l for l in spec.conv_layers if l.weight_pruned]
+        w_nnz = pruned[0].w_nnz if pruned else 8
+        rows.append([
+            name,
+            f"{w_nnz}/8",
+            round(spec.mac_weighted_a_nnz(), 2),
+            round(base.total_cycles / run_aw.total_cycles, 2),
+            round(base.total_cycles / run_wa.total_cycles, 2),
+            round(base.energy_uj / run_aw.energy_uj, 2),
+            round(base.energy_uj / run_wa.energy_uj, 2),
+        ])
+    return ExperimentResult(
+        artifact="Ablation: unrolling axis",
+        title="Serialize activations (AW) vs weights (WA), vs SA-ZVCG",
+        headers=["model", "W-DBB", "avg a_nnz",
+                 "AW speedup", "WA speedup",
+                 "AW energy x", "WA energy x"],
+        rows=rows,
+        notes=["WA's speedup is locked to the per-model weight ratio; "
+               "AW tracks the per-layer activation range — and WA's "
+               "forced fixed 4/8 A-DBB would cost accuracy on dense-"
+               "activation layers that AW's tuning bypasses"],
+    )
+
+
+def ablation_block_size(
+    densities: Optional[List[float]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ExperimentResult:
+    """Accuracy-proxy vs hardware cost across DBB block sizes.
+
+    Keep-fraction: the share of activation L1 mass a 50%-density bound
+    preserves under Top-NNZ pruning — larger blocks give the selector
+    more freedom (8/16 > 4/8 > 2/4 = A100's format at the same ratio).
+    Hardware cost: mask bits per block byte, steering-mux width and DAP
+    comparators all scale with BZ.
+    """
+    rng = rng or np.random.default_rng(0)
+    densities = densities or [0.7]
+    x = random_unstructured((256, 128), densities[0], rng=rng)
+    rows = []
+    for bz in (4, 8, 16):
+        nnz = bz // 2  # 50% bound throughout (2/4, 4/8, 8/16)
+        spec = DBBSpec(bz, nnz)
+        keep = dap_keep_fraction(x, spec, nnz)
+        mask_overhead = spec.mask_bytes() / spec.compressed_value_bytes()
+        rows.append([
+            spec.ratio,
+            round(keep * 100, 1),
+            bz,                      # steering mux width
+            round(mask_overhead * 100, 1),
+            (bz - 1) * nnz,          # DAP comparators per block
+            "A100 format" if bz == 4 else
+            ("paper's choice" if bz == 8 else ""),
+        ])
+    return ExperimentResult(
+        artifact="Ablation: block size",
+        title="DBB block size at a fixed 50% density bound",
+        headers=["format", "L1 mass kept %", "mux width",
+                 "mask overhead %", "DAP compares/block", ""],
+        rows=rows,
+        notes=["larger blocks keep more signal at equal density but "
+               "grow every per-block hardware structure; BZ=8 is the "
+               "paper's accuracy/efficiency balance (Sec. 6.2)"],
+    )
+
+
+def ablation_dap_stages() -> ExperimentResult:
+    """Effect of the DAP cascade depth cap on full-model coverage."""
+    rows = []
+    aw = S2TAAW()
+    zvcg = ZvcgSA()
+    for max_stages in (3, 4, 5, 6, 7):
+        bypassed_macs = 0
+        total_macs = 0
+        energy_ratio_acc = []
+        for name in FULL_MODELS:
+            spec = get_spec(name)
+            capped_layers = []
+            for layer in spec.conv_layers:
+                total_macs += layer.macs
+                if 8 > layer.a_nnz > max_stages:
+                    # layer must bypass DAP and run dense
+                    import dataclasses
+
+                    bypassed_macs += layer.macs
+                    capped_layers.append(dataclasses.replace(
+                        layer, a_nnz=8,
+                        act_density=min(1.0, layer.a_density * 2)))
+                else:
+                    capped_layers.append(layer)
+            from repro.models.specs import ModelSpec
+
+            capped = ModelSpec(name + f"_cap{max_stages}", spec.dataset,
+                               capped_layers)
+            base = zvcg.run_model(capped, conv_only=True)
+            run = aw.run_model(capped, conv_only=True)
+            energy_ratio_acc.append(base.energy_uj / run.energy_uj)
+        rows.append([
+            max_stages,
+            round(bypassed_macs / total_macs * 100, 1),
+            round(float(np.mean(energy_ratio_acc)), 2),
+            "paper's cap" if max_stages == 5 else "",
+        ])
+    return ExperimentResult(
+        artifact="Ablation: DAP stages",
+        title="DAP cascade depth vs dense-bypass coverage and energy",
+        headers=["max stages", "MACs forced to dense bypass %",
+                 "AW energy gain vs ZVCG", ""],
+        rows=rows,
+        notes=["beyond 5 stages the marginal energy gain is negligible "
+               "(layers tuned above 5/8 barely benefit from DBB), which "
+               "is the paper's Sec. 6.2 rationale for capping at 5"],
+    )

@@ -1,0 +1,86 @@
+"""ASCII bar/series rendering for experiment results.
+
+The paper's figures are bar charts and line series; these helpers give
+the benchmark outputs a figure-like view in plain text, next to the
+numeric tables from :mod:`repro.eval.tables`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["bar_chart", "series_chart"]
+
+_FULL = "#"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart; optionally marks a reference value with '|'."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels ({len(labels)}) and values ({len(values)}) differ"
+        )
+    if not values:
+        return ""
+    peak = max(max(values), reference or 0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(l) for l in labels)
+    lines: List[str] = []
+    ref_col = (min(width - 1, round(reference / peak * width))
+               if reference is not None else None)
+    for label, value in zip(labels, values):
+        filled = round(value / peak * width)
+        bar = list(_FULL * filled + " " * (width - filled))
+        if ref_col is not None and 0 <= ref_col < width:
+            bar[ref_col] = "|"
+        lines.append(
+            f"{label.ljust(label_width)}  {''.join(bar)} "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_labels: Sequence[str],
+    series: dict,
+    height: int = 10,
+    width_per_point: int = 8,
+) -> str:
+    """Plot one or more y-series over shared x labels as ASCII columns."""
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("all series must match the x-label count")
+    markers = "ox+*@%"
+    all_values = [v for vals in series.values() for v in vals]
+    top = max(all_values)
+    bottom = min(0.0, min(all_values))
+    span = (top - bottom) or 1.0
+    grid = [[" "] * (len(x_labels) * width_per_point)
+            for _ in range(height)]
+    for s_idx, (name, values) in enumerate(series.items()):
+        marker = markers[s_idx % len(markers)]
+        for i, value in enumerate(values):
+            row = height - 1 - round((value - bottom) / span * (height - 1))
+            col = i * width_per_point + width_per_point // 2
+            grid[row][col] = marker
+    lines = [f"{top:8.2f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{bottom:8.2f} +" + "".join(grid[-1]))
+    axis = " " * 10
+    for label in x_labels:
+        axis += label[:width_per_point - 1].center(width_per_point)
+    lines.append(axis)
+    legend = "   ".join(f"{markers[i % len(markers)]}={name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""LeNet-5 (MNIST) layer specs — Table 3's joint 4/8 A, 2/8 W variant."""
+
+from __future__ import annotations
+
+from repro.models.specs import LayerKind, LayerSpec, ModelSpec
+
+__all__ = ["lenet5_spec"]
+
+
+def lenet5_spec() -> ModelSpec:
+    """Classic LeNet-5 at 28x28 input (valid convs, 2x2 pools)."""
+    conv = LayerKind.CONV
+    fc = LayerKind.FC
+    layers = [
+        LayerSpec("conv1", conv, m=24 * 24, k=25, n=6,
+                  w_nnz=8, a_nnz=8, weight_density=0.9, act_density=1.0),
+        LayerSpec("conv2", conv, m=8 * 8, k=150, n=16,
+                  w_nnz=2, a_nnz=4, act_density=0.45),
+        LayerSpec("fc3", fc, m=1, k=256, n=120,
+                  w_nnz=2, a_nnz=4, act_density=0.42),
+        LayerSpec("fc4", fc, m=1, k=120, n=84,
+                  w_nnz=2, a_nnz=4, act_density=0.40),
+        LayerSpec("fc5", fc, m=1, k=84, n=10,
+                  w_nnz=2, a_nnz=4, act_density=0.40),
+    ]
+    return ModelSpec(
+        name="lenet5",
+        dataset="mnist",
+        layers=layers,
+        baseline_accuracy=99.0,
+        notes="2/8 W-DBB (conv1 excluded), 4/8 A-DBB",
+    )

@@ -1,0 +1,78 @@
+"""MobileNetV1 1.0-224 (ImageNet) layer specs and DBB density profile.
+
+Pointwise (1x1) convs carry ~95% of the MACs and are the DBB targets;
+depthwise layers are memory bound on S2TA (Sec. 8.3) and are not
+weight-pruned (their reduction axis is only KH*KW = 9, with no channel
+blocking). Table 3's evaluated variant: 4/8 W-DBB on pointwise/FC layers
+(first conv excluded), per-layer A-DBB averaging 4.8/8 — MobileNet
+activations are comparatively dense, which is why its A-DBB is the
+highest of the four ImageNet models.
+"""
+
+from __future__ import annotations
+
+from repro.models.specs import LayerKind, LayerSpec, ModelSpec
+
+__all__ = ["mobilenet_v1_spec"]
+
+# (index, spatial_out_of_dw, c_in, c_out, dw_stride, pw_a_nnz, pw_act_density)
+_BLOCKS = [
+    (1, 112, 32, 64, 1, 8, 0.72),
+    (2, 56, 64, 128, 2, 6, 0.58),
+    (3, 56, 128, 128, 1, 6, 0.55),
+    (4, 28, 128, 256, 2, 5, 0.48),
+    (5, 28, 256, 256, 1, 5, 0.45),
+    (6, 14, 256, 512, 2, 5, 0.44),
+    (7, 14, 512, 512, 1, 4, 0.40),
+    (8, 14, 512, 512, 1, 4, 0.38),
+    (9, 14, 512, 512, 1, 4, 0.37),
+    (10, 14, 512, 512, 1, 4, 0.36),
+    (11, 14, 512, 512, 1, 4, 0.35),
+    (12, 7, 512, 1024, 2, 4, 0.34),
+    (13, 7, 1024, 1024, 1, 4, 0.33),
+]
+
+
+def mobilenet_v1_spec() -> ModelSpec:
+    """MobileNetV1 with the paper's joint A/W-DBB profile (Table 3 row *)."""
+    layers = [
+        LayerSpec("conv1", LayerKind.CONV, m=112 * 112, k=27, n=32,
+                  w_nnz=8, a_nnz=8, weight_density=0.92, act_density=1.0),
+    ]
+    for idx, spatial, c_in, c_out, stride, a_nnz, act_density in _BLOCKS:
+        dw_spatial = spatial  # output spatial extent of the dw conv
+        layers.append(
+            LayerSpec(
+                f"dw{idx}",
+                LayerKind.DWCONV,
+                m=dw_spatial * dw_spatial * c_in,
+                k=9,
+                n=1,
+                w_nnz=8,  # depthwise not weight-pruned
+                a_nnz=8,
+                act_density=min(1.0, act_density + 0.15),
+            )
+        )
+        layers.append(
+            LayerSpec(
+                f"pw{idx}",
+                LayerKind.CONV,
+                m=spatial * spatial,
+                k=c_in,
+                n=c_out,
+                w_nnz=4,
+                a_nnz=a_nnz,
+                act_density=act_density,
+            )
+        )
+    layers.append(
+        LayerSpec("fc", LayerKind.FC, m=1, k=1024, n=1000,
+                  w_nnz=4, a_nnz=4, act_density=0.35)
+    )
+    return ModelSpec(
+        name="mobilenet_v1",
+        dataset="imagenet",
+        layers=layers,
+        baseline_accuracy=70.1,
+        notes="4/8 W-DBB on pointwise/FC (conv1 excluded), A-DBB avg ~4.8/8",
+    )

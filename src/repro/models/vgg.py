@@ -1,0 +1,63 @@
+"""VGG-16 (ImageNet) layer specs and DBB density profile.
+
+All convs are 3x3/pad 1 at 224x224 input. Table 3's evaluated variant:
+3/8 W-DBB (first layer excluded), per-layer A-DBB averaging 3.1/8.
+"""
+
+from __future__ import annotations
+
+from repro.models.specs import LayerKind, LayerSpec, ModelSpec
+
+__all__ = ["vgg16_spec"]
+
+# (name, spatial, in_channels, out_channels, a_nnz, act_density)
+_CONVS = [
+    ("conv1_1", 224, 3, 64, 8, 1.00),
+    ("conv1_2", 224, 64, 64, 5, 0.58),
+    ("conv2_1", 112, 64, 128, 4, 0.47),
+    ("conv2_2", 112, 128, 128, 4, 0.45),
+    ("conv3_1", 56, 128, 256, 3, 0.36),
+    ("conv3_2", 56, 256, 256, 3, 0.34),
+    ("conv3_3", 56, 256, 256, 3, 0.32),
+    ("conv4_1", 28, 256, 512, 2, 0.24),
+    ("conv4_2", 28, 512, 512, 2, 0.22),
+    ("conv4_3", 28, 512, 512, 2, 0.21),
+    ("conv5_1", 14, 512, 512, 2, 0.20),
+    ("conv5_2", 14, 512, 512, 2, 0.19),
+    ("conv5_3", 14, 512, 512, 2, 0.18),
+]
+
+
+def vgg16_spec() -> ModelSpec:
+    """VGG-16 with the paper's joint A/W-DBB profile (Table 3 row *)."""
+    layers = []
+    for i, (name, spatial, c_in, c_out, a_nnz, act_density) in enumerate(_CONVS):
+        first = i == 0
+        layers.append(
+            LayerSpec(
+                name,
+                LayerKind.CONV,
+                m=spatial * spatial,
+                k=9 * c_in,
+                n=c_out,
+                w_nnz=8 if first else 3,
+                a_nnz=a_nnz,
+                weight_density=0.92 if first else None,
+                act_density=act_density,
+            )
+        )
+    layers += [
+        LayerSpec("fc6", LayerKind.FC, m=1, k=25088, n=4096,
+                  w_nnz=3, a_nnz=2, act_density=0.20),
+        LayerSpec("fc7", LayerKind.FC, m=1, k=4096, n=4096,
+                  w_nnz=3, a_nnz=2, act_density=0.20),
+        LayerSpec("fc8", LayerKind.FC, m=1, k=4096, n=1000,
+                  w_nnz=3, a_nnz=2, act_density=0.22),
+    ]
+    return ModelSpec(
+        name="vgg16",
+        dataset="imagenet",
+        layers=layers,
+        baseline_accuracy=71.5,
+        notes="3/8 W-DBB (conv1_1 excluded), per-layer A-DBB avg ~3.1/8",
+    )

@@ -1,0 +1,39 @@
+"""Numpy CNN inference substrate.
+
+S2TA executes convolutions as GEMMs over im2col-lowered activations
+(Sec. 6.1 "Networks are mapped onto the array using simple matrix tiling").
+This package provides the lowering, the layer set needed by the benchmark
+models (conv, depthwise conv, fully connected, pooling, ReLU), and a small
+sequential inference engine with per-layer instrumentation hooks used to
+collect activation-density statistics for the performance model.
+"""
+
+from repro.nn.im2col import conv_output_size, im2col
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.model import LayerTrace, Sequential
+from repro.nn.quantized import QuantizedSequential
+
+__all__ = [
+    "QuantizedSequential",
+    "im2col",
+    "conv_output_size",
+    "Layer",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Linear",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "Sequential",
+    "LayerTrace",
+]

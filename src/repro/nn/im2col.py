@@ -1,0 +1,82 @@
+"""im2col lowering of convolutions to GEMM.
+
+Layout convention is NHWC (channels innermost), so that the im2col patch
+axis ends with the input-channel dimension — exactly the axis the paper
+blocks DBB tensors along (Fig. 5 blocks "along the channel dimension").
+A lowered convolution is then ``(N*OH*OW, KH*KW*C) @ (KH*KW*C, F)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "im2col_indices"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size for in={size}, k={kernel}, "
+            f"s={stride}, p={padding}"
+        )
+    return out
+
+
+def im2col_indices(
+    height: int,
+    width: int,
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """Gather indices (rows, cols) into the padded image for each patch."""
+    kh, kw = kernel
+    oh = conv_output_size(height, kh, stride, padding)
+    ow = conv_output_size(width, kw, stride, padding)
+    base_r = np.repeat(np.arange(kh), kw)
+    base_c = np.tile(np.arange(kw), kh)
+    start_r = stride * np.repeat(np.arange(oh), ow)
+    start_c = stride * np.tile(np.arange(ow), oh)
+    rows = start_r[:, None] + base_r[None, :]
+    cols = start_c[:, None] + base_c[None, :]
+    return rows, cols, oh, ow
+
+
+def im2col(
+    images: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> Tuple[np.ndarray, int, int]:
+    """Lower NHWC images to the GEMM activation matrix.
+
+    Parameters
+    ----------
+    images: ``(N, H, W, C)`` input tensor.
+    kernel: ``(KH, KW)`` window.
+    stride, padding: convolution geometry (symmetric padding, zero fill).
+
+    Returns
+    -------
+    (patches, oh, ow) where ``patches`` is ``(N*OH*OW, KH*KW*C)`` with the
+    channel axis innermost (DBB blocking axis), and ``oh``/``ow`` are the
+    output spatial dims.
+    """
+    images = np.asarray(images)
+    if images.ndim != 4:
+        raise ValueError(f"expected NHWC input, got shape {images.shape}")
+    n, h, w, c = images.shape
+    if padding:
+        images = np.pad(
+            images,
+            ((0, 0), (padding, padding), (padding, padding), (0, 0)),
+            mode="constant",
+        )
+    rows, cols, oh, ow = im2col_indices(h, w, kernel, stride, padding)
+    # patches: (N, OH*OW, KH*KW, C) -> (N*OH*OW, KH*KW*C)
+    patches = images[:, rows, cols, :]
+    return patches.reshape(n * oh * ow, -1), oh, ow

@@ -1,0 +1,161 @@
+"""Sequential inference engine with DBB instrumentation.
+
+Runs a layer stack while optionally applying the full S2TA data pipeline:
+
+- static W-DBB pruning of every GEMM layer's weights (Sec. 4), and
+- runtime DAP on the activations entering each GEMM layer (Sec. 5.1),
+  with a per-layer NNZ override (the paper tunes A-DBB density per layer).
+
+Each run produces :class:`LayerTrace` records with the densities and GEMM
+shapes the performance model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dap import dap_prune
+from repro.core.dbb import DBBSpec
+from repro.core.sparsity import density
+from repro.nn.layers import Conv2d, DepthwiseConv2d, Layer, Linear
+
+__all__ = ["LayerTrace", "Sequential"]
+
+
+@dataclass
+class LayerTrace:
+    """Per-layer instrumentation from one forward pass."""
+
+    name: str
+    kind: str
+    input_density: float
+    output_density: float
+    gemm_shape: Optional[Tuple[int, int, int]] = None
+    dap_nnz: Optional[int] = None
+    dap_pruned_fraction: float = 0.0
+
+    @property
+    def macs(self) -> int:
+        if self.gemm_shape is None:
+            return 0
+        m, k, n = self.gemm_shape
+        return m * k * n
+
+
+@dataclass
+class RunResult:
+    """Output tensor plus the per-layer trace of one forward pass."""
+
+    output: np.ndarray
+    traces: List[LayerTrace] = field(default_factory=list)
+
+    def trace_by_name(self, name: str) -> LayerTrace:
+        for trace in self.traces:
+            if trace.name == name:
+                return trace
+        raise KeyError(f"no layer named {name!r} in trace")
+
+    @property
+    def total_macs(self) -> int:
+        return sum(t.macs for t in self.traces)
+
+
+class Sequential:
+    """An ordered layer stack with optional DBB execution."""
+
+    def __init__(self, layers: List[Layer], name: str = "model"):
+        if not layers:
+            raise ValueError("a model needs at least one layer")
+        names = [layer.name for layer in layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"layer names must be unique, got {names}")
+        self.layers = list(layers)
+        self.name = name
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def layer(self, name: str) -> Layer:
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no layer named {name!r}")
+
+    @property
+    def gemm_layers(self) -> List[Layer]:
+        return [l for l in self.layers if l.has_gemm]
+
+    def prune_weights(
+        self,
+        spec: DBBSpec,
+        skip: Optional[List[str]] = None,
+    ) -> None:
+        """Apply W-DBB pruning to every prunable GEMM layer.
+
+        ``skip`` lists layer names excluded from pruning; the paper always
+        excludes the first conv layer (Table 3, note 2). Depthwise layers
+        have no channel-axis reduction to block, so they are skipped too.
+        """
+        skip = set(skip or [])
+        for layer in self.gemm_layers:
+            if layer.name in skip or isinstance(layer, DepthwiseConv2d):
+                continue
+            layer.prune_weights(spec)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        dap_spec: Optional[DBBSpec] = None,
+        dap_nnz: Optional[Dict[str, int]] = None,
+    ) -> RunResult:
+        """Run inference, optionally applying DAP before each GEMM layer.
+
+        ``dap_nnz`` maps layer name -> per-layer NNZ; a value equal to the
+        block size means dense bypass. Layers not in the map use
+        ``dap_spec.max_nnz``. The first GEMM layer is never DAP-pruned
+        (its input is the network input, not a ReLU activation).
+        """
+        dap_nnz = dap_nnz or {}
+        traces: List[LayerTrace] = []
+        first_gemm_seen = False
+        for layer in self.layers:
+            input_density = density(x)
+            nnz_used = None
+            pruned_fraction = 0.0
+            is_gemm = layer.has_gemm
+            if is_gemm and dap_spec is not None and first_gemm_seen:
+                nnz_used = dap_nnz.get(layer.name, dap_spec.max_nnz)
+                if nnz_used < dap_spec.block_size:
+                    result = dap_prune(x, dap_spec, nnz=nnz_used)
+                    x = result.pruned
+                    pruned_fraction = result.pruned_fraction
+                    input_density = density(x)
+            if is_gemm:
+                first_gemm_seen = True
+            gemm_shape = None
+            if isinstance(layer, Linear):
+                gemm_shape = (x.shape[0], layer.reduction_dim, layer.out_channels)
+            elif isinstance(layer, (Conv2d, DepthwiseConv2d)):
+                gemm_shape = layer.gemm_shape(x.shape[1:3], batch=x.shape[0])
+            x = layer.forward(x)
+            traces.append(
+                LayerTrace(
+                    name=layer.name,
+                    kind=type(layer).__name__,
+                    input_density=input_density,
+                    output_density=density(x),
+                    gemm_shape=gemm_shape,
+                    dap_nnz=nnz_used,
+                    dap_pruned_fraction=pruned_fraction,
+                )
+            )
+        return RunResult(output=x, traces=traces)
+
+    def __repr__(self) -> str:
+        return f"Sequential(name={self.name!r}, layers={len(self.layers)})"

@@ -1,0 +1,34 @@
+"""INT8 quantization substrate.
+
+The paper targets INT8 inference, "the most widely used" mobile deployment
+datatype (Sec. 1). This package provides symmetric/asymmetric per-tensor
+quantization, the fixed-point requantization used between layers (integer
+multiplier + right shift, as in real INT8 accelerators), and a quantized
+tensor wrapper.
+"""
+
+from repro.quant.int8 import (
+    INT8_MAX,
+    INT8_MIN,
+    QuantParams,
+    QuantizedTensor,
+    dequantize,
+    quantize,
+    quantize_params,
+    requantize,
+    requantize_multiplier,
+    saturating_cast,
+)
+
+__all__ = [
+    "INT8_MAX",
+    "INT8_MIN",
+    "QuantParams",
+    "QuantizedTensor",
+    "quantize",
+    "dequantize",
+    "quantize_params",
+    "requantize",
+    "requantize_multiplier",
+    "saturating_cast",
+]

@@ -1,0 +1,173 @@
+"""Symmetric/asymmetric INT8 per-tensor quantization.
+
+Follows the standard integer-only inference recipe used by INT8 mobile
+deployments (and by the paper's quantized benchmark models):
+
+- weights: symmetric, zero_point = 0;
+- activations: asymmetric or symmetric, per tensor;
+- accumulation: INT32;
+- requantization between layers: INT32 fixed-point multiplier + right
+  shift with round-to-nearest (no floating point at inference time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "INT8_MIN",
+    "INT8_MAX",
+    "QuantParams",
+    "QuantizedTensor",
+    "quantize_params",
+    "quantize",
+    "dequantize",
+    "saturating_cast",
+    "requantize_multiplier",
+    "requantize",
+]
+
+INT8_MIN = -128
+INT8_MAX = 127
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Per-tensor affine quantization: ``real = scale * (q - zero_point)``."""
+
+    scale: float
+    zero_point: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if not INT8_MIN <= self.zero_point <= INT8_MAX:
+            raise ValueError(f"zero_point out of INT8 range: {self.zero_point}")
+
+    @property
+    def is_symmetric(self) -> bool:
+        return self.zero_point == 0
+
+
+def quantize_params(
+    real_min: float, real_max: float, symmetric: bool = True
+) -> QuantParams:
+    """Derive quantization parameters from an observed real-value range.
+
+    Symmetric mode (used for weights, and for activations here since ReLU
+    outputs quantize well symmetrically with the zero kept exact) maps
+    ``max(|min|, |max|)`` to 127. Asymmetric mode maps [min, max] affinely
+    onto [-128, 127] with the zero representable exactly.
+    """
+    if real_min > real_max:
+        raise ValueError(f"empty range [{real_min}, {real_max}]")
+    if symmetric:
+        bound = max(abs(real_min), abs(real_max), 1e-12)
+        return QuantParams(scale=bound / INT8_MAX, zero_point=0)
+    real_min = min(real_min, 0.0)
+    real_max = max(real_max, 0.0)
+    scale = max((real_max - real_min) / (INT8_MAX - INT8_MIN), 1e-12)
+    zero_point = int(round(INT8_MIN - real_min / scale))
+    zero_point = int(np.clip(zero_point, INT8_MIN, INT8_MAX))
+    return QuantParams(scale=scale, zero_point=zero_point)
+
+
+def saturating_cast(values: np.ndarray, dtype=np.int8) -> np.ndarray:
+    """Round-to-nearest-even then clip to the dtype's range (hardware sat)."""
+    info = np.iinfo(dtype)
+    return np.clip(np.rint(values), info.min, info.max).astype(dtype)
+
+
+def quantize(real: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Real tensor -> INT8 codes."""
+    return saturating_cast(np.asarray(real, dtype=np.float64) / params.scale
+                           + params.zero_point)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """INT8 codes -> real tensor."""
+    return (np.asarray(q, dtype=np.float64) - params.zero_point) * params.scale
+
+
+def requantize_multiplier(real_multiplier: float) -> Tuple[int, int]:
+    """Decompose a real multiplier into (int32_multiplier, right_shift).
+
+    ``real ~= m / 2**31 * 2**-shift`` with ``m`` in [2^30, 2^31). This is the
+    standard integer-only requantization used between INT8 layers.
+    """
+    if real_multiplier <= 0:
+        raise ValueError(f"multiplier must be positive, got {real_multiplier}")
+    shift = 0
+    m = real_multiplier
+    while m < 0.5:
+        m *= 2.0
+        shift += 1
+    while m >= 1.0:
+        m /= 2.0
+        shift -= 1
+    q = int(round(m * (1 << 31)))
+    if q == (1 << 31):  # rounding overflow
+        q //= 2
+        shift -= 1
+    return q, shift
+
+
+def requantize(
+    acc: np.ndarray,
+    multiplier: int,
+    shift: int,
+    zero_point: int = 0,
+) -> np.ndarray:
+    """INT32 accumulator -> INT8 output via fixed-point multiply + shift.
+
+    Implements round-to-nearest on both the 31-bit multiply and the final
+    right shift, followed by zero-point addition and saturation — exactly
+    the integer pipeline an INT8 accelerator's output stage performs (on
+    S2TA this runs on the Cortex-M33 SIMD cluster, Sec. 6.3).
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    prod = acc * np.int64(multiplier)
+    rounded = (prod + (1 << 30)) >> 31
+    if shift > 0:
+        rounding = np.int64(1) << (shift - 1)
+        rounded = (rounded + rounding) >> shift
+    elif shift < 0:
+        rounded = rounded << (-shift)
+    return saturating_cast(rounded + zero_point)
+
+
+class QuantizedTensor:
+    """An INT8 tensor together with its quantization parameters."""
+
+    def __init__(self, q: np.ndarray, params: QuantParams):
+        q = np.asarray(q)
+        if q.dtype != np.int8:
+            raise ValueError(f"expected int8 codes, got {q.dtype}")
+        self.q = q
+        self.params = params
+
+    @classmethod
+    def from_real(cls, real: np.ndarray, symmetric: bool = True) -> "QuantizedTensor":
+        real = np.asarray(real, dtype=np.float64)
+        params = quantize_params(float(real.min()), float(real.max()),
+                                 symmetric=symmetric)
+        return cls(quantize(real, params), params)
+
+    @property
+    def shape(self):
+        return self.q.shape
+
+    def to_real(self) -> np.ndarray:
+        return dequantize(self.q, self.params)
+
+    def quantization_error(self, real: np.ndarray) -> float:
+        """RMS reconstruction error against a reference real tensor."""
+        diff = self.to_real() - np.asarray(real, dtype=np.float64)
+        return float(np.sqrt(np.mean(diff**2)))
+
+    def __repr__(self) -> str:
+        return (f"QuantizedTensor(shape={self.q.shape}, "
+                f"scale={self.params.scale:.4g}, zp={self.params.zero_point})")

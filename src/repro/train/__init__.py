@@ -1,0 +1,48 @@
+"""DBB-aware training substrate.
+
+The paper fine-tunes INT8 ImageNet models with (a) progressive per-block
+magnitude weight pruning (Sec. 8.1 "Training for W-DBB") and (b) a DAP
+layer in front of convolutions whose gradient is the Top-NNZ binary mask
+— a straight-through estimator (Sec. 8.1 "Training for A-DBB").
+
+ImageNet training is not available offline, so this package provides a
+minimal reverse-mode autograd engine and runs the *same algorithms* on
+proxy models/datasets (see DESIGN.md Sec. 2): the Table 3 claim being
+reproduced is the recovery dynamic — pruning costs accuracy, DBB-aware
+fine-tuning recovers it to within ~1 point of baseline.
+"""
+
+from repro.train.autograd import Tensor, cross_entropy
+from repro.train.data import synthetic_classification, synthetic_images
+from repro.train.finetune import FinetuneReport, accuracy, dbb_finetune, train
+from repro.train.layers import (
+    MLP,
+    Conv2dModule,
+    DAPLayer,
+    Dense,
+    FlattenModule,
+    ReLULayer,
+    Sequential,
+    SmallCNN,
+)
+from repro.train.optim import SGD
+
+__all__ = [
+    "Tensor",
+    "cross_entropy",
+    "Dense",
+    "Conv2dModule",
+    "FlattenModule",
+    "ReLULayer",
+    "DAPLayer",
+    "Sequential",
+    "MLP",
+    "SmallCNN",
+    "synthetic_images",
+    "SGD",
+    "synthetic_classification",
+    "train",
+    "accuracy",
+    "dbb_finetune",
+    "FinetuneReport",
+]

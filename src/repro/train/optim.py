@@ -1,0 +1,41 @@
+"""Optimizers for the fine-tuning experiments."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.train.autograd import Tensor
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, parameters: List[Tensor], lr: float = 0.05,
+                 momentum: float = 0.9):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        for i, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            if self._velocity[i] is None:
+                self._velocity[i] = np.zeros_like(param.data)
+            self._velocity[i] = (
+                self.momentum * self._velocity[i] - self.lr * param.grad
+            )
+            param.data += self._velocity[i]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()

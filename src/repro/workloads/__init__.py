@@ -1,0 +1,25 @@
+"""Workload descriptions and generators.
+
+- :mod:`repro.workloads.microbench`: the Sec. 8.2 synthetic sweep layers
+  and concrete operand generators for the functional simulator.
+- :mod:`repro.workloads.typical`: the "typical convolution layer" used
+  by Fig. 1, Fig. 3 and Fig. 10.
+"""
+
+from repro.workloads.from_trace import run_and_spec, spec_from_trace
+from repro.workloads.microbench import (
+    microbench_operands,
+    sparsity_sweep,
+    sweep_layer,
+)
+from repro.workloads.typical import TYPICAL_CONV, typical_conv_layer
+
+__all__ = [
+    "sweep_layer",
+    "sparsity_sweep",
+    "microbench_operands",
+    "TYPICAL_CONV",
+    "typical_conv_layer",
+    "spec_from_trace",
+    "run_and_spec",
+]

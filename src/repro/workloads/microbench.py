@@ -1,0 +1,91 @@
+"""Synthetic microbenchmark workloads (Sec. 8.2, Fig. 9).
+
+The paper sweeps synthetic DNN layers over controlled weight/activation
+sparsity. :func:`sweep_layer` builds the analytic layer for a sweep
+point; :func:`microbench_operands` materializes concrete INT8 operands
+with exactly that sparsity structure for the functional simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dbb import DBBSpec
+from repro.core.pruning import prune_weights_dbb
+from repro.core.sparsity import random_dbb_tensor, random_unstructured
+from repro.models.specs import BLOCK_SIZE, LayerKind, LayerSpec
+
+__all__ = ["sweep_layer", "sparsity_sweep", "microbench_operands",
+           "SWEEP_SPARSITIES"]
+
+#: Fig. 9's x-axis: DBB sparsity levels 0%..87.5% (NNZ 8..1 of BZ=8).
+SWEEP_SPARSITIES = (0.0, 0.25, 0.50, 0.625, 0.75, 0.875)
+
+
+def sweep_layer(
+    w_sparsity: float,
+    a_sparsity: float,
+    m: int = 1024,
+    k: int = 1152,
+    n: int = 256,
+) -> LayerSpec:
+    """One Fig. 9 sweep point as an analytic layer spec.
+
+    Sparsity maps to DBB NNZ exactly (x% sparsity -> ``8 * (1 - x)`` NNZ,
+    which is integral for the paper's sweep points).
+    """
+    for label, s in (("w", w_sparsity), ("a", a_sparsity)):
+        if not 0.0 <= s < 1.0:
+            raise ValueError(f"{label}_sparsity must be in [0, 1), got {s}")
+    w_nnz = max(1, round((1.0 - w_sparsity) * BLOCK_SIZE))
+    a_nnz = max(1, round((1.0 - a_sparsity) * BLOCK_SIZE))
+    return LayerSpec(
+        f"ubench_w{int(w_sparsity * 1000)}_a{int(a_sparsity * 1000)}",
+        LayerKind.CONV,
+        m=m, k=k, n=n,
+        w_nnz=w_nnz,
+        a_nnz=a_nnz,
+        weight_density=1.0 - w_sparsity,
+        act_density=1.0 - a_sparsity,
+    )
+
+
+def sparsity_sweep(
+    a_sparsity: float, m: int = 1024, k: int = 1152, n: int = 256
+) -> Iterator[LayerSpec]:
+    """Fig. 9's weight-sparsity sweep at a fixed activation sparsity."""
+    for w_sparsity in SWEEP_SPARSITIES:
+        yield sweep_layer(w_sparsity, a_sparsity, m=m, k=k, n=n)
+
+
+def microbench_operands(
+    layer: LayerSpec,
+    rng: Optional[np.random.Generator] = None,
+    dbb_weights: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concrete INT8 operands for a sweep layer.
+
+    Weights are generated DBB-structured (or unstructured + pruned when
+    ``dbb_weights``), activations unstructured at the layer's density —
+    the same data regime the paper's testbenches drive.
+    """
+    rng = rng or np.random.default_rng(0)
+    a = random_unstructured((layer.m, layer.k), layer.a_density, rng=rng)
+    spec = DBBSpec(BLOCK_SIZE, layer.w_nnz)
+    if layer.k % BLOCK_SIZE == 0:
+        w = random_dbb_tensor((layer.n, layer.k), spec, rng=rng).T
+    else:
+        w_dense = random_unstructured((layer.n, layer.k), layer.w_density,
+                                      rng=rng)
+        pad = (-layer.k) % BLOCK_SIZE
+        padded = np.concatenate(
+            [w_dense, np.zeros((layer.n, pad), dtype=w_dense.dtype)], axis=1
+        )
+        w = prune_weights_dbb(padded, spec)[:, :layer.k].T
+    if dbb_weights:
+        return a, w
+    w_unstructured = random_unstructured((layer.k, layer.n), layer.w_density,
+                                         rng=rng)
+    return a, w_unstructured

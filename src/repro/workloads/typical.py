@@ -1,0 +1,41 @@
+"""The paper's "typical convolution layer".
+
+Fig. 1, Fig. 3 and Fig. 10 all evaluate one representative mid-network
+convolution: we use a VGG-ish conv3 shape (56x56 output, 3x3 kernel over
+128 input channels, 256 filters), which matches the reduction length
+(K = 1152) the paper's arrays are sized around.
+"""
+
+from __future__ import annotations
+
+from repro.models.specs import BLOCK_SIZE, LayerKind, LayerSpec
+
+__all__ = ["TYPICAL_CONV", "typical_conv_layer"]
+
+
+def typical_conv_layer(
+    w_density: float = 0.5,
+    a_density: float = 0.5,
+    name: str = "typical_conv",
+) -> LayerSpec:
+    """The typical conv at a given weight/activation density.
+
+    ``w_nnz``/``a_nnz`` are derived from the densities (e.g. 50% -> 4/8,
+    62.5% sparsity -> 3/8), matching how the paper states microbenchmark
+    sparsity as DBB ratios.
+    """
+    return LayerSpec(
+        name,
+        LayerKind.CONV,
+        m=56 * 56,
+        k=1152,
+        n=256,
+        w_nnz=max(1, round(w_density * BLOCK_SIZE)),
+        a_nnz=max(1, round(a_density * BLOCK_SIZE)),
+        weight_density=w_density,
+        act_density=a_density,
+    )
+
+
+#: Fig. 10's operating point: 50% (4/8) weights, 62.5% sparse (3/8) acts.
+TYPICAL_CONV = typical_conv_layer(w_density=0.5, a_density=0.375)

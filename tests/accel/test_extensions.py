@@ -1,0 +1,112 @@
+"""Tests for the extension accelerators: S2TA-WA (footnote 2) and SCNN."""
+
+import pytest
+
+from repro.accel import SCNN, S2TAAW, S2TAWA, ZvcgSA
+from repro.models import get_spec
+from repro.models.specs import LayerKind, LayerSpec
+from repro.workloads.typical import typical_conv_layer
+
+
+class TestS2TAWA:
+    def test_design_point(self):
+        wa = S2TAWA()
+        assert wa.hardware_macs == 2048
+        assert wa.has_dap
+
+    def test_speedup_tracks_weight_density(self):
+        """The dual of Fig. 9d: cycles scale with w_nnz, not a_nnz."""
+        wa = S2TAWA()
+        cycles = {}
+        for w_nnz in (1, 2, 4):
+            layer = LayerSpec("l", LayerKind.CONV, m=1024, k=1152, n=256,
+                              w_nnz=w_nnz, a_nnz=4,
+                              weight_density=w_nnz / 8, act_density=0.5)
+            cycles[w_nnz] = wa.run_layer(layer).compute_cycles
+        assert cycles[2] == pytest.approx(2 * cycles[1], rel=0.01)
+        assert cycles[4] == pytest.approx(4 * cycles[1], rel=0.01)
+
+    def test_activation_density_does_not_change_cycles(self):
+        wa = S2TAWA()
+        layers = [
+            LayerSpec("l", LayerKind.CONV, m=1024, k=1152, n=256,
+                      w_nnz=4, a_nnz=a, act_density=a / 8)
+            for a in (2, 8)
+        ]
+        assert (wa.run_layer(layers[0]).compute_cycles
+                == wa.run_layer(layers[1]).compute_cycles)
+
+    def test_fixed_a_dbb_caps_activation_density(self):
+        wa = S2TAWA()
+        dense_act = LayerSpec("l", LayerKind.CONV, m=256, k=512, n=64,
+                              w_nnz=4, a_nnz=8, act_density=1.0)
+        result = wa.run_layer(dense_act)
+        # fired MACs reflect the forced 4/8 activation bound
+        assert result.events.mac_ops <= dense_act.macs * 0.5 * 0.5 * 1.01
+
+    def test_dap_always_active(self):
+        wa = S2TAWA()
+        result = wa.run_layer(typical_conv_layer(0.5, 1.0))
+        assert result.events.dap_compare_ops > 0
+
+    def test_beats_aw_on_weight_sparse_models(self):
+        """VGG-16 weights are pruned to 3/8 while its activations average
+        3.1/8 — WA's 8/3 = 2.67x weight unrolling out-runs AW only when
+        weights are sparser than activations."""
+        spec = get_spec("vgg16")
+        aw = S2TAAW().run_model(spec, conv_only=True)
+        wa = S2TAWA().run_model(spec, conv_only=True)
+        # VGG: both ~2.5x; WA competitive (within 20% on cycles)
+        assert wa.total_cycles < aw.total_cycles * 1.2
+
+    def test_loses_to_aw_on_energy_for_activation_sparse_models(self):
+        """AW harvests per-layer activation sparsity below the fixed 4/8;
+        WA cannot, so it burns more energy on late sparse layers."""
+        spec = get_spec("alexnet")
+        aw = S2TAAW().run_model(spec, conv_only=True)
+        wa = S2TAWA().run_model(spec, conv_only=True)
+        assert wa.energy_uj > aw.energy_uj * 0.95
+
+    def test_better_than_zvcg(self):
+        spec = get_spec("resnet50")
+        zvcg = ZvcgSA().run_model(spec, conv_only=True)
+        wa = S2TAWA().run_model(spec, conv_only=True)
+        assert wa.energy_uj < zvcg.energy_uj
+        assert wa.total_cycles < zvcg.total_cycles
+
+
+class TestSCNN:
+    def test_buffer_bytes_matches_table1(self):
+        assert SCNN().buffer_bytes_per_mac == 1650.0
+
+    def test_scatter_events_charged(self):
+        result = SCNN().run_layer(typical_conv_layer(0.5, 0.5))
+        assert result.events.scatter_acc_ops == 3 * result.events.mac_ops
+
+    def test_wins_only_at_high_sparsity(self):
+        """Sec. 2.3's point: the scatter buffer makes SCNN worse than a
+        plain ZVCG array except on very sparse layers."""
+        zvcg = ZvcgSA()
+        scnn = SCNN()
+        dense_layer = typical_conv_layer(0.9, 0.9)
+        sparse_layer = typical_conv_layer(0.12, 0.12)
+        assert (scnn.run_layer(dense_layer).energy_pj
+                > zvcg.run_layer(dense_layer).energy_pj)
+        assert (scnn.run_layer(sparse_layer).energy_pj
+                < zvcg.run_layer(sparse_layer).energy_pj)
+
+    def test_sparten_beats_scnn(self):
+        """The paper picks SparTen as the stronger scatter-family
+        baseline ('superior results to SCNN')."""
+        from repro.accel import SparTen
+
+        spec = get_spec("alexnet")
+        # Compare at the same node for architecture-only contrast.
+        scnn = SCNN(tech="45nm").run_model(spec, conv_only=True)
+        sparten = SparTen(tech="45nm").run_model(spec, conv_only=True)
+        assert sparten.energy_uj < scnn.energy_uj
+
+    def test_area_dominated_by_buffers(self):
+        scnn = SCNN()
+        breakdown = scnn.area_breakdown_mm2()
+        assert breakdown["pe_array"] > breakdown["sram"]

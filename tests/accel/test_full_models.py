@@ -1,0 +1,158 @@
+"""Full-network reproduction anchors (Fig. 11, Fig. 12, Table 4)."""
+
+import numpy as np
+import pytest
+
+from repro.accel import S2TAAW, S2TAW, EyerissV2, SmtSA, SparTen, ZvcgSA
+from repro.models import get_spec
+
+MODELS = ("resnet50", "vgg16", "mobilenet_v1", "alexnet")
+
+
+@pytest.fixture(scope="module")
+def runs16():
+    """Conv-only runs of the four ImageNet models on all SA variants."""
+    accs = {
+        "zvcg": ZvcgSA(),
+        "smt": SmtSA(),
+        "w": S2TAW(),
+        "aw": S2TAAW(),
+    }
+    out = {}
+    for name in MODELS:
+        spec = get_spec(name)
+        out[name] = {k: a.run_model(spec, conv_only=True)
+                     for k, a in accs.items()}
+    return out
+
+
+class TestFig11:
+    def test_aw_energy_reduction_range(self, runs16):
+        """Paper: 1.76-2.79x energy reduction vs SA-ZVCG per model."""
+        ratios = [runs16[m]["zvcg"].energy_uj / runs16[m]["aw"].energy_uj
+                  for m in MODELS]
+        assert min(ratios) > 1.4
+        assert max(ratios) < 3.0
+        assert np.mean(ratios) == pytest.approx(2.08, abs=0.35)
+
+    def test_aw_speedup_range(self, runs16):
+        """Paper: 1.67-2.58x speedup vs SA-ZVCG, avg ~2.11x."""
+        ratios = [runs16[m]["zvcg"].total_cycles / runs16[m]["aw"].total_cycles
+                  for m in MODELS]
+        assert min(ratios) > 1.3
+        assert max(ratios) < 2.8
+        assert np.mean(ratios) == pytest.approx(2.11, abs=0.35)
+
+    def test_vgg_gains_most_mobilenet_least(self, runs16):
+        """Density profiles order the gains: VGG (sparse) > MobileNet
+        (dense activations)."""
+        gain = {m: runs16[m]["zvcg"].energy_uj / runs16[m]["aw"].energy_uj
+                for m in MODELS}
+        assert gain["vgg16"] > gain["mobilenet_v1"]
+
+    def test_aw_beats_w_in_energy_everywhere(self, runs16):
+        """Fig. 11: S2TA-AW wins on energy for all four models. On
+        throughput it can trail S2TA-W where activations are dense
+        (MobileNet: 8/a_nnz < 2), which the paper's per-model speedups
+        reflect (its minimum is 1.67x vs ZVCG while W holds 2x)."""
+        for m in MODELS:
+            assert runs16[m]["aw"].energy_uj < runs16[m]["w"].energy_uj
+        assert (runs16["vgg16"]["aw"].total_cycles
+                < runs16["vgg16"]["w"].total_cycles)
+
+    def test_smt_burns_more_than_zvcg_despite_speedup(self, runs16):
+        for m in MODELS:
+            assert runs16[m]["smt"].energy_uj > runs16[m]["zvcg"].energy_uj
+            assert runs16[m]["smt"].total_cycles < runs16[m]["zvcg"].total_cycles
+
+
+class TestFig12:
+    """AlexNet per-layer energy across the five accelerators (65 nm)."""
+
+    @pytest.fixture(scope="class")
+    def alexnet_runs(self):
+        spec = get_spec("alexnet")
+        return {
+            "aw": S2TAAW(tech="65nm").run_model(spec, conv_only=True),
+            "w": S2TAW(tech="65nm").run_model(spec, conv_only=True),
+            "zvcg": ZvcgSA(tech="65nm").run_model(spec, conv_only=True),
+            "sparten": SparTen().run_model(spec, conv_only=True),
+            "eyeriss": EyerissV2().run_model(spec, conv_only=True),
+        }
+
+    def test_sparten_ratio(self, alexnet_runs):
+        """S2TA-AW (65nm) ~2.2x less energy than SparTen (45nm)."""
+        ratio = (alexnet_runs["sparten"].energy_uj
+                 / alexnet_runs["aw"].energy_uj)
+        assert ratio == pytest.approx(2.2, abs=0.5)
+
+    def test_eyeriss_ratio(self, alexnet_runs):
+        """S2TA-AW ~3.1x less energy than Eyeriss v2 (same 65nm)."""
+        ratio = (alexnet_runs["eyeriss"].energy_uj
+                 / alexnet_runs["aw"].energy_uj)
+        assert ratio == pytest.approx(3.1, abs=0.7)
+
+    def test_sparten_inflated_on_dense_layers(self, alexnet_runs):
+        """SparTen loses on conv1/conv2, wins only on sparse conv3-5."""
+        sparten = alexnet_runs["sparten"]
+        zvcg = alexnet_runs["zvcg"]
+        assert sparten.layer("conv1").energy_uj > 1.5 * zvcg.layer("conv1").energy_uj
+        assert sparten.layer("conv5").energy_uj < zvcg.layer("conv5").energy_uj
+
+    def test_zvcg_beats_sparten_in_total(self, alexnet_runs):
+        """Sec. 8.3: 'even the baseline SA-ZVCG has lower energy than
+        SparTen on AlexNet'."""
+        assert (alexnet_runs["zvcg"].energy_uj
+                < alexnet_runs["sparten"].energy_uj)
+
+    def test_aw_wins_every_layer_vs_w_and_zvcg(self, alexnet_runs):
+        for layer in ("conv2", "conv3", "conv4", "conv5"):
+            aw = alexnet_runs["aw"].layer(layer).energy_uj
+            assert aw < alexnet_runs["w"].layer(layer).energy_uj
+            assert aw < alexnet_runs["zvcg"].layer(layer).energy_uj
+
+
+class TestTable4:
+    def test_peak_energy_efficiency_ordering(self):
+        """Table 4 (16 nm, 50% sparse): AW > W > ZVCG > SMT in TOPS/W."""
+        from repro.workloads.typical import typical_conv_layer
+
+        layer = typical_conv_layer(0.5, 0.5)
+        eff = {}
+        for key, acc in (("zvcg", ZvcgSA()), ("smt", SmtSA()),
+                         ("w", S2TAW()), ("aw", S2TAAW())):
+            r = acc.run_layer(layer)
+            ops = 2 * layer.macs
+            eff[key] = ops / (r.energy_pj * 1e-12) / 1e12
+        assert eff["aw"] > eff["w"] > eff["zvcg"] > eff["smt"]
+
+    def test_zvcg_tops_per_watt_anchor(self):
+        """Table 4: SA-ZVCG ~10.5 TOPS/W at 50/50 sparsity in 16 nm."""
+        from repro.workloads.typical import typical_conv_layer
+
+        layer = typical_conv_layer(0.5, 0.5)
+        r = ZvcgSA().run_layer(layer)
+        topsw = 2 * layer.macs / (r.energy_pj * 1e-12) / 1e12
+        assert topsw == pytest.approx(10.5, abs=1.5)
+
+    def test_effective_tops_doubles_with_sparsity(self):
+        """Table 4: S2TA-AW 8 TOPS at 50% sparse, 16 at 75% sparse."""
+        aw = S2TAAW()
+        r50 = aw.microbench_layer(0.5, 0.5)
+        r75 = aw.microbench_layer(0.25, 0.25)
+        ops = 2 * r50.layer.macs
+        tops50 = ops / (r50.cycles / aw.clock_ghz / 1e9) / 1e12
+        tops75 = ops / (r75.cycles / aw.clock_ghz / 1e9) / 1e12
+        assert tops50 == pytest.approx(8.0, rel=0.15)
+        assert tops75 == pytest.approx(16.0, rel=0.15)
+
+    def test_eyeriss_low_throughput(self):
+        """Table 4: Eyeriss v2 ~0.28 kInf/s on AlexNet (384 MACs, 200 MHz)."""
+        run = EyerissV2().run_model(get_spec("alexnet"), conv_only=True)
+        assert run.inferences_per_second == pytest.approx(280, rel=0.8)
+
+    def test_areas_match_table4(self):
+        assert ZvcgSA().area_mm2() == pytest.approx(3.7, abs=0.2)
+        assert SmtSA().area_mm2() == pytest.approx(4.2, abs=0.25)
+        assert S2TAW().area_mm2() == pytest.approx(3.4, abs=0.25)
+        assert S2TAAW().area_mm2() == pytest.approx(3.8, abs=0.25)

@@ -1,0 +1,86 @@
+"""Tests for the dense SA and SA-ZVCG models, incl. Fig. 1 calibration."""
+
+import pytest
+
+from repro.accel import DenseSA, ZvcgSA
+from repro.models.specs import LayerKind, LayerSpec
+from repro.workloads.typical import typical_conv_layer
+
+
+class TestDenseSA:
+    def test_geometry(self):
+        sa = DenseSA()
+        assert sa.hardware_macs == 2048
+        assert sa.skew == 94
+
+    def test_cycles_formula(self):
+        layer = LayerSpec("l", LayerKind.CONV, m=64, k=100, n=128)
+        result = DenseSA().run_layer(layer)
+        assert result.compute_cycles == 2 * 2 * 100 + 94
+
+    def test_mac_events(self):
+        layer = LayerSpec("l", LayerKind.CONV, m=32, k=64, n=64)
+        result = DenseSA().run_layer(layer)
+        assert result.events.mac_ops == layer.macs
+        assert result.events.total_mac_slots == 1 * (32 * 64) * 64
+
+    def test_fig1_energy_breakdown(self):
+        """Fig. 1: SRAM 21% / buffers 49% / MAC 20% / act fn 10%."""
+        result = DenseSA().run_layer(typical_conv_layer(0.5, 0.5))
+        fracs = result.breakdown.fractions()
+        assert fracs["sram"] == pytest.approx(0.21, abs=0.04)
+        assert fracs["buffers"] == pytest.approx(0.49, abs=0.05)
+        assert fracs["datapath"] == pytest.approx(0.20, abs=0.04)
+        assert fracs["actfn"] == pytest.approx(0.10, abs=0.03)
+
+    def test_memory_bound_fc_layer(self):
+        fc = LayerSpec("fc", LayerKind.FC, m=1, k=4096, n=4096)
+        result = DenseSA().run_layer(fc)
+        assert result.memory_bound
+        assert result.cycles == result.memory_cycles
+
+    def test_conv_not_memory_bound(self):
+        result = DenseSA().run_layer(typical_conv_layer())
+        assert not result.memory_bound
+
+
+class TestZvcgSA:
+    def test_no_speedup(self):
+        """Fig. 9a: ZVCG saves energy but never cycles."""
+        layer = typical_conv_layer(0.5, 0.5)
+        dense = DenseSA().run_layer(layer)
+        zvcg = ZvcgSA().run_layer(layer)
+        assert zvcg.cycles == dense.cycles
+        assert zvcg.energy_pj < dense.energy_pj
+
+    def test_25_percent_saving_at_typical_sparsity(self):
+        """Sec. 8.4 (2): SA-ZVCG ~25% below dense SA."""
+        layer = typical_conv_layer(0.5, 0.5)
+        dense = DenseSA().run_layer(layer)
+        zvcg = ZvcgSA().run_layer(layer)
+        saving = 1 - zvcg.energy_pj / dense.energy_pj
+        assert saving == pytest.approx(0.25, abs=0.05)
+
+    def test_energy_scales_weakly_with_sparsity(self):
+        """Fig. 9a: energy falls slowly as sparsity rises."""
+        zvcg = ZvcgSA()
+        energies = [
+            zvcg.microbench_layer(1 - s, 0.5).energy_pj
+            for s in (0.0, 0.25, 0.5, 0.75)
+        ]
+        assert all(a >= b for a, b in zip(energies, energies[1:]))
+        # "weakly": 75% weight sparsity saves well under 50% energy
+        assert energies[-1] > 0.5 * energies[0]
+
+    def test_gated_events_balance(self):
+        layer = typical_conv_layer(0.5, 0.5)
+        events = ZvcgSA().run_layer(layer).events
+        assert events.mac_ops + events.gated_mac_ops == (
+            events.acc_reg_ops + events.gated_acc_reg_ops
+        )
+
+    def test_dense_data_matches_dense_sa_slots(self):
+        layer = typical_conv_layer(1.0, 1.0)
+        zvcg = ZvcgSA().run_layer(layer)
+        assert zvcg.events.gated_mac_ops == 0
+        assert zvcg.events.mac_ops == layer.macs

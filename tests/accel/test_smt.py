@@ -1,0 +1,46 @@
+"""Tests for the SA-SMT accelerator model (Fig. 3 / Fig. 10 anchors)."""
+
+import pytest
+
+from repro.accel import SmtSA, ZvcgSA
+from repro.workloads.typical import typical_conv_layer
+
+
+class TestSmtModel:
+    def test_speedup_at_5050(self):
+        """Fig. 3: T2Q2 ~1.6x, T2Q4 ~1.8x at 50/50 sparsity."""
+        layer = typical_conv_layer(0.5, 0.5)
+        zvcg = ZvcgSA().run_layer(layer)
+        q2 = SmtSA(fifo_depth=2).run_layer(layer)
+        q4 = SmtSA(fifo_depth=4).run_layer(layer)
+        assert zvcg.cycles / q2.cycles == pytest.approx(1.6, abs=0.15)
+        assert zvcg.cycles / q4.cycles == pytest.approx(1.85, abs=0.15)
+
+    def test_energy_overhead_vs_zvcg(self):
+        """Fig. 10: SMT burns ~43% (T2Q2) more energy than SA-ZVCG."""
+        layer = typical_conv_layer(0.5, 0.5)
+        zvcg = ZvcgSA().run_layer(layer)
+        q2 = SmtSA(fifo_depth=2).run_layer(layer)
+        overhead = q2.energy_pj / zvcg.energy_pj - 1
+        assert overhead == pytest.approx(0.43, abs=0.12)
+
+    def test_fifo_events_present(self):
+        result = SmtSA().run_layer(typical_conv_layer(0.5, 0.5))
+        assert result.events.fifo_push_ops == result.events.mac_ops
+        assert result.events.fifo_pop_ops == result.events.mac_ops
+
+    def test_speedup_cache(self):
+        smt = SmtSA()
+        first = smt.speedup_at(0.5, 0.5)
+        second = smt.speedup_at(0.5, 0.5)
+        assert first == second
+        assert len(smt._speedup_cache) == 1
+
+    def test_speedup_never_below_one(self):
+        assert SmtSA().speedup_at(1.0, 1.0) >= 1.0
+
+    def test_name_reflects_config(self):
+        assert SmtSA(threads=2, fifo_depth=4).name == "SA-SMT-T2Q4"
+
+    def test_area_larger_than_zvcg(self):
+        assert SmtSA().area_mm2() > ZvcgSA().area_mm2()

@@ -1,0 +1,67 @@
+"""Tests for the SRAM capacity / tiling analysis."""
+
+import pytest
+
+from repro.accel.tiling import AB_BYTES, WB_BYTES, analyze_layer, analyze_model
+from repro.models import get_spec
+from repro.models.specs import LayerKind, LayerSpec
+from repro.workloads.typical import typical_conv_layer
+
+
+class TestAnalyzeLayer:
+    def test_typical_conv_fits_on_chip(self):
+        analysis = analyze_layer(typical_conv_layer(0.5, 0.375))
+        assert analysis.weights_fit
+        assert analysis.acts_fit
+        assert analysis.fully_resident
+
+    def test_vgg_fc6_weights_do_not_fit(self):
+        fc6 = get_spec("vgg16").layer("fc6")
+        analysis = analyze_layer(fc6)
+        assert not analysis.weights_fit
+        # dense would be ~98 MB; even 3/8-compressed it exceeds 256 KB
+        assert analysis.weight_bytes_stored > WB_BYTES
+
+    def test_compression_shrinks_footprints(self):
+        dense = LayerSpec("d", LayerKind.CONV, m=1024, k=1152, n=256,
+                          w_nnz=8, a_nnz=8)
+        sparse = LayerSpec("s", LayerKind.CONV, m=1024, k=1152, n=256,
+                           w_nnz=4, a_nnz=2)
+        a_dense = analyze_layer(dense)
+        a_sparse = analyze_layer(sparse)
+        assert (a_sparse.weight_bytes_stored
+                == a_dense.weight_bytes_stored * 5 // 8)
+        assert a_sparse.act_bytes_stored < a_dense.act_bytes_stored / 2
+
+    def test_non_resident_weights_multiply_dma(self):
+        fc = LayerSpec("fc", LayerKind.FC, m=4096, k=25088, n=4096,
+                       w_nnz=8, a_nnz=8)
+        analysis = analyze_layer(fc, eff_rows=64)
+        assert analysis.weight_dma_bytes == (
+            analysis.weight_bytes_stored * -(-4096 // 64))
+
+    def test_double_buffering_halves_capacity(self):
+        # a layer that fits single-buffered but not double-buffered
+        layer = LayerSpec("edge", LayerKind.CONV, m=64, k=8192, n=48,
+                          w_nnz=8, a_nnz=8)
+        assert layer.weight_bytes > WB_BYTES // 2
+        assert layer.weight_bytes <= WB_BYTES
+        assert not analyze_layer(layer).weights_fit
+        assert analyze_layer(layer, double_buffered=False).weights_fit
+
+
+class TestAnalyzeModel:
+    def test_mobilenet_mostly_resident(self):
+        # The late pointwise layers (512x1024 weights) and the classifier
+        # genuinely exceed half the 512 KB WB even compressed.
+        report = analyze_model(get_spec("mobilenet_v1"))
+        assert report["resident_layers"] >= report["total_layers"] - 4
+
+    def test_vgg_fc_layers_not_resident(self):
+        report = analyze_model(get_spec("vgg16"))
+        assert not report["layers"]["fc6"].fully_resident
+        assert report["total_dma_bytes"] > 0
+
+    def test_capacities_sane(self):
+        assert WB_BYTES == 512 * 1024
+        assert AB_BYTES == 2 * 1024 * 1024

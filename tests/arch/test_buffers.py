@@ -1,0 +1,84 @@
+"""Tests for SRAM/register/FIFO buffer models."""
+
+import numpy as np
+import pytest
+
+from repro.arch.buffers import FIFO, FifoFullError, RegisterFile, Sram
+
+
+class TestSram:
+    def test_write_read_counts(self):
+        sram = Sram(64)
+        sram.write(0, np.arange(8, dtype=np.int8))
+        out = sram.read(0, 8)
+        np.testing.assert_array_equal(out, np.arange(8))
+        assert sram.write_bytes == 8
+        assert sram.read_bytes == 8
+
+    def test_out_of_range(self):
+        sram = Sram(16)
+        with pytest.raises(IndexError):
+            sram.read(10, 8)
+        with pytest.raises(IndexError):
+            sram.write(-1, np.zeros(2, dtype=np.int8))
+
+    def test_reset_counters(self):
+        sram = Sram(16)
+        sram.write(0, np.zeros(4, dtype=np.int8))
+        sram.reset_counters()
+        assert sram.write_bytes == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Sram(0)
+
+
+class TestRegisterFile:
+    def test_counts(self):
+        rf = RegisterFile(4)
+        rf.write(0, 42)
+        assert rf.read(0) == 42
+        assert rf.read_ops == 1
+        assert rf.write_ops == 1
+
+    def test_bounds(self):
+        rf = RegisterFile(2)
+        with pytest.raises(IndexError):
+            rf.read(2)
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            RegisterFile(0)
+
+
+class TestFifo:
+    def test_order_and_counts(self):
+        fifo = FIFO(2)
+        fifo.push("a")
+        fifo.push("b")
+        assert fifo.pop() == "a"
+        assert fifo.pop() == "b"
+        assert fifo.push_ops == 2
+        assert fifo.pop_ops == 2
+        assert fifo.max_occupancy == 2
+
+    def test_overflow(self):
+        fifo = FIFO(1)
+        fifo.push(1)
+        with pytest.raises(FifoFullError):
+            fifo.push(2)
+        assert not fifo.try_push(2)
+
+    def test_underflow(self):
+        with pytest.raises(IndexError):
+            FIFO(1).pop()
+
+    def test_flags(self):
+        fifo = FIFO(1)
+        assert fifo.empty and not fifo.full
+        fifo.push(1)
+        assert fifo.full and not fifo.empty
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            FIFO(0)

@@ -1,0 +1,113 @@
+"""Tests for the hardware DAP maxpool cascade (Fig. 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.dap_hw import DAPHardware
+from repro.core.dap import dap_prune
+from repro.core.dbb import DBBSpec
+
+
+class TestConstruction:
+    def test_paper_default(self):
+        hw = DAPHardware()
+        assert hw.block_size == 8
+        assert hw.max_stages == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DAPHardware(block_size=1)
+        with pytest.raises(ValueError):
+            DAPHardware(block_size=8, max_stages=8)
+        with pytest.raises(ValueError):
+            DAPHardware(block_size=8, max_stages=0)
+
+
+class TestFig8Example:
+    """The paper's worked example: selecting 4/8 from a block containing
+    the values {0, 4, 1, 5, 2, 6, -1, -7} keeps [4, 5, -7, 6] with
+    positional mask M = 8'h4D (positions {0, 2, 3, 6})."""
+
+    BLOCK = np.array([4, -1, 5, -7, 0, 1, 6, 2])
+
+    def test_top4_values_and_mask(self):
+        hw = DAPHardware()
+        compressed, traces, _ = hw.prune_block(self.BLOCK, nnz=4)
+        assert list(compressed.values) == [4, 5, -7, 6]
+        assert compressed.mask == 0x4D
+
+    def test_stage_selection_order_is_magnitude(self):
+        hw = DAPHardware()
+        _, traces, _ = hw.prune_block(self.BLOCK, nnz=5)
+        order = [t.selected_position for t in traces]
+        # |-7| > |6| > |5| > |4| > |2|
+        assert order == [3, 6, 2, 0, 7]
+
+    def test_cumulative_masks_grow(self):
+        hw = DAPHardware()
+        _, traces, _ = hw.prune_block(self.BLOCK, nnz=5)
+        masks = [t.cumulative_mask for t in traces]
+        for prev, cur in zip(masks, masks[1:]):
+            assert prev & cur == prev  # monotone set growth
+            assert bin(cur).count("1") == bin(prev).count("1") + 1
+
+
+class TestCascadeBehaviour:
+    def test_comparator_count_per_stage(self):
+        hw = DAPHardware()
+        _, _, events = hw.prune_block(np.arange(8), nnz=3)
+        assert events.dap_compare_ops == 3 * 7  # NNZ stages x (BZ-1)
+
+    def test_nnz_beyond_stages_rejected(self):
+        hw = DAPHardware(max_stages=5)
+        with pytest.raises(ValueError, match="bypass"):
+            hw.prune_block(np.arange(8), nnz=6)
+
+    def test_underfull_block_stops_selecting_zeros(self):
+        hw = DAPHardware()
+        block = np.array([0, 0, 9, 0, 0, 0, 0, 0])
+        compressed, _, _ = hw.prune_block(block, nnz=3)
+        assert compressed.nnz == 1
+        assert list(compressed.values) == [9, 0, 0]
+
+    def test_tie_break_lowest_index(self):
+        hw = DAPHardware()
+        block = np.array([5, -5, 5, 0, 0, 0, 0, 0])
+        compressed, traces, _ = hw.prune_block(block, nnz=2)
+        assert [t.selected_position for t in traces] == [0, 1]
+
+    def test_wrong_block_shape(self):
+        with pytest.raises(ValueError):
+            DAPHardware().prune_block(np.zeros(4), nnz=2)
+
+
+class TestBitExactWithAlgorithmicDAP:
+    """The hardware cascade must agree bit-exactly with repro.core.dap."""
+
+    @given(
+        st.lists(st.integers(-128, 127), min_size=8, max_size=8),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=200)
+    def test_property_block_agreement(self, values, nnz):
+        block = np.array(values, dtype=np.int64)
+        hw = DAPHardware()
+        compressed, _, _ = hw.prune_block(block, nnz)
+        expanded = np.zeros(8, dtype=np.int64)
+        for pos, val in compressed.nonzero_pairs():
+            expanded[pos] = val
+        reference = dap_prune(block[None, :], DBBSpec(8, nnz)).pruned[0]
+        np.testing.assert_array_equal(expanded, reference)
+
+    @given(st.integers(0, 100), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_tensor_agreement(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(-128, 128, size=(4, 24)).astype(np.int8)
+        hw = DAPHardware()
+        pruned, events = hw.prune_tensor(x, nnz)
+        reference = dap_prune(x, DBBSpec(8, nnz)).pruned
+        np.testing.assert_array_equal(pruned, reference)
+        assert events.dap_compare_ops == 4 * 3 * nnz * 7

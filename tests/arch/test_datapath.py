@@ -1,0 +1,168 @@
+"""Tests for the Fig. 6 datapath family: functional equivalence + events."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.datapath import dp1m4_block, dp4m4_block, dp4m8_block, dp8_dense
+from repro.core.dap import dap_prune
+from repro.core.dbb import DBBSpec, compress_block
+from repro.core.pruning import prune_weights_dbb
+
+
+def _blocks(seed, a_nnz=None, w_nnz=4):
+    """Random BZ=8 operand blocks; activations pruned when a_nnz given."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-127, 128, size=8).astype(np.int64)
+    w = rng.integers(-127, 128, size=8).astype(np.int64)
+    w = prune_weights_dbb(w[None, :], DBBSpec(8, w_nnz))[0]
+    if a_nnz is not None:
+        a = dap_prune(a[None, :], DBBSpec(8, a_nnz)).pruned[0]
+    return a, w
+
+
+class TestDP8Dense:
+    def test_matches_dot(self):
+        a, w = _blocks(0)
+        psum, events = dp8_dense(a, w)
+        assert psum == int(np.dot(a, w))
+        assert events.mac_ops == 8
+        assert events.gated_mac_ops == 0
+
+    def test_zvcg_gates_zero_operands(self):
+        a = np.array([1, 0, 3, 0, 5, 0, 7, 0])
+        w = np.array([1, 1, 0, 0, 1, 1, 1, 1])
+        psum, events = dp8_dense(a, w, zvcg=True)
+        assert psum == int(np.dot(a, w))
+        assert events.mac_ops == 3  # positions 0, 4, 6
+        assert events.gated_mac_ops == 5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dp8_dense(np.zeros(8), np.zeros(4))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=50)
+    def test_property_zvcg_same_result(self, seed):
+        a, w = _blocks(seed)
+        dense_psum, _ = dp8_dense(a, w)
+        zvcg_psum, events = dp8_dense(a, w, zvcg=True)
+        assert dense_psum == zvcg_psum
+        assert events.total_mac_slots == 8
+
+
+class TestDP4M8:
+    def test_matches_dense(self):
+        a, w = _blocks(1)
+        w_block = compress_block(w, DBBSpec(8, 4))
+        psum, events = dp4m8_block(a, w_block)
+        assert psum == int(np.dot(a, w))
+        assert events.mux_ops == 4
+
+    def test_half_the_mac_slots(self):
+        a, w = _blocks(2)
+        w_block = compress_block(w, DBBSpec(8, 4))
+        _, events = dp4m8_block(a, w_block, zvcg=False)
+        assert events.total_mac_slots == 4  # vs 8 on DP8
+
+    def test_underfull_block_gated(self):
+        a = np.ones(8, dtype=np.int64)
+        w = np.zeros(8, dtype=np.int64)
+        w[3] = 5
+        w_block = compress_block(w, DBBSpec(8, 4))
+        psum, events = dp4m8_block(a, w_block)
+        assert psum == 5
+        assert events.mac_ops == 1
+        assert events.gated_mac_ops == 3
+
+    def test_bad_activation_shape(self):
+        w_block = compress_block(np.zeros(8), DBBSpec(8, 4))
+        with pytest.raises(ValueError):
+            dp4m8_block(np.zeros(4), w_block)
+
+    @given(st.integers(0, 500), st.integers(1, 8))
+    @settings(max_examples=80)
+    def test_property_matches_dense(self, seed, w_nnz):
+        a, w = _blocks(seed, w_nnz=w_nnz)
+        w_block = compress_block(w, DBBSpec(8, w_nnz))
+        psum, _ = dp4m8_block(a, w_block)
+        assert psum == int(np.dot(a, w))
+
+
+class TestDP4M4:
+    def test_matches_dense(self):
+        a, w = _blocks(3, a_nnz=4)
+        a_block = compress_block(a, DBBSpec(8, 4))
+        w_block = compress_block(w, DBBSpec(8, 4))
+        psum, events = dp4m4_block(a_block, w_block)
+        assert psum == int(np.dot(a, w))
+        assert events.total_mac_slots == 4
+
+    def test_disjoint_masks_all_gated(self):
+        a = np.array([1, 1, 0, 0, 0, 0, 0, 0])
+        w = np.array([0, 0, 1, 1, 0, 0, 0, 0])
+        a_block = compress_block(a, DBBSpec(8, 2))
+        w_block = compress_block(w, DBBSpec(8, 2))
+        psum, events = dp4m4_block(a_block, w_block)
+        assert psum == 0
+        assert events.mac_ops == 0
+
+    def test_block_size_mismatch(self):
+        a_block = compress_block(np.zeros(4), DBBSpec(4, 2))
+        w_block = compress_block(np.zeros(8), DBBSpec(8, 4))
+        with pytest.raises(ValueError):
+            dp4m4_block(a_block, w_block)
+
+
+class TestDP1M4TimeUnrolled:
+    def test_matches_dense(self):
+        a, w = _blocks(4, a_nnz=3)
+        a_block = compress_block(a, DBBSpec(8, 3))
+        w_block = compress_block(w, DBBSpec(8, 4))
+        psum, events = dp1m4_block(a_block, w_block)
+        assert psum == int(np.dot(a, w))
+
+    def test_cycles_equal_a_nnz_slots(self):
+        # The serialization invariant of Sec. 5.2: a block costs exactly
+        # a_nnz cycles, independent of how many MACs actually fire.
+        for a_nnz in range(1, 8):
+            a, w = _blocks(5, a_nnz=a_nnz)
+            a_block = compress_block(a, DBBSpec(8, a_nnz))
+            w_block = compress_block(w, DBBSpec(8, 4))
+            _, events = dp1m4_block(a_block, w_block)
+            assert events.cycles == a_nnz
+            assert events.total_mac_slots == a_nnz
+
+    def test_mask_mismatch_gates(self):
+        a = np.array([9, 0, 0, 0, 0, 0, 0, 0])
+        w = np.array([0, 7, 0, 0, 0, 0, 0, 0])
+        a_block = compress_block(a, DBBSpec(8, 1))
+        w_block = compress_block(w, DBBSpec(8, 4))
+        psum, events = dp1m4_block(a_block, w_block)
+        assert psum == 0
+        assert events.mac_ops == 0
+        assert events.gated_mac_ops == 1
+
+    @given(st.integers(0, 500), st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=80)
+    def test_property_matches_dense(self, seed, a_nnz, w_nnz):
+        a, w = _blocks(seed, a_nnz=a_nnz, w_nnz=w_nnz)
+        a_block = compress_block(a, DBBSpec(8, a_nnz))
+        w_block = compress_block(w, DBBSpec(8, w_nnz))
+        psum, events = dp1m4_block(a_block, w_block)
+        assert psum == int(np.dot(a, w))
+        assert events.cycles == a_nnz
+
+    def test_all_datapaths_agree(self):
+        # One operand pair, four datapaths, one answer (Fig. 6 family).
+        a, w = _blocks(6, a_nnz=4, w_nnz=4)
+        spec = DBBSpec(8, 4)
+        a_block = compress_block(a, spec)
+        w_block = compress_block(w, spec)
+        expected = int(np.dot(a, w))
+        assert dp8_dense(a, w)[0] == expected
+        assert dp8_dense(a, w, zvcg=True)[0] == expected
+        assert dp4m8_block(a, w_block)[0] == expected
+        assert dp4m4_block(a_block, w_block)[0] == expected
+        assert dp1m4_block(a_block, w_block)[0] == expected

@@ -1,0 +1,104 @@
+"""Tests for whole-network cycle-level simulation."""
+
+import numpy as np
+import pytest
+
+from repro.arch.netsim import simulate_network
+from repro.arch.systolic import Mode, SystolicConfig
+from repro.core.dbb import DBBSpec
+from repro.models.zoo import build_tiny_cnn
+from repro.nn.quantized import QuantizedSequential
+
+
+@pytest.fixture(scope="module")
+def qmodel():
+    rng = np.random.default_rng(0)
+    model = build_tiny_cnn(rng=rng)
+    calib = np.abs(rng.normal(size=(8, 16, 16, 8)))
+    return QuantizedSequential.quantize_model(model, calib)
+
+
+@pytest.fixture()
+def x():
+    return np.abs(np.random.default_rng(1).normal(size=(2, 16, 16, 8)))
+
+
+def _dense_config(mode=Mode.ZVCG):
+    return SystolicConfig(rows=4, cols=4, mode=mode)
+
+
+class TestBitExactness:
+    def test_zvcg_matches_integer_path(self, qmodel, x):
+        sim_out = simulate_network(qmodel, x, _dense_config()).output
+        int_out = qmodel.forward(x)
+        np.testing.assert_allclose(sim_out, int_out)
+
+    def test_dense_matches_integer_path(self, qmodel, x):
+        sim_out = simulate_network(qmodel, x, _dense_config(Mode.DENSE)).output
+        np.testing.assert_allclose(sim_out, qmodel.forward(x))
+
+    def test_awdbb_matches_integer_path_with_dap(self, x):
+        # Fresh model pruned to the bound; channels are multiples of BZ,
+        # so channel-blocking and im2col K-blocking coincide and the
+        # simulated network equals the integer path with DAP.
+        rng = np.random.default_rng(2)
+        model = build_tiny_cnn(rng=rng)
+        calib = np.abs(rng.normal(size=(8, 16, 16, 8)))
+        qm = QuantizedSequential.quantize_model(model, calib)
+        w_spec = DBBSpec(8, 4)
+        a_spec = DBBSpec(8, 3)
+        qm.prune_weights(w_spec, skip=["conv1"])
+        config = SystolicConfig(rows=2, cols=2, mode=Mode.AWDBB,
+                                w_spec=w_spec, a_spec=a_spec,
+                                tpe_a=2, tpe_c=2)
+        sim_out = simulate_network(qm, x, config).output
+        int_out = qm.forward(x, dap_spec=a_spec, dap_nnz=3)
+        np.testing.assert_allclose(sim_out, int_out)
+
+
+class TestModesAndFallback:
+    def test_first_layer_falls_back_to_zvcg(self, x):
+        rng = np.random.default_rng(3)
+        model = build_tiny_cnn(rng=rng)
+        calib = np.abs(rng.normal(size=(4, 16, 16, 8)))
+        qm = QuantizedSequential.quantize_model(model, calib)
+        qm.prune_weights(DBBSpec(8, 4), skip=["conv1"])
+        config = SystolicConfig(rows=2, cols=2, mode=Mode.WDBB,
+                                w_spec=DBBSpec(8, 4), tpe_a=2, tpe_c=2)
+        result = simulate_network(qm, x, config)
+        assert result.record("conv1").mode is Mode.ZVCG
+        assert result.record("conv2").mode is Mode.WDBB
+
+    def test_unpruned_model_runs_all_zvcg(self, qmodel, x):
+        config = SystolicConfig(rows=2, cols=2, mode=Mode.WDBB,
+                                w_spec=DBBSpec(8, 4), tpe_a=2, tpe_c=2)
+        result = simulate_network(qmodel, x, config)
+        assert all(r.mode is Mode.ZVCG for r in result.records)
+
+    def test_per_layer_a_nnz_override(self, x):
+        rng = np.random.default_rng(4)
+        model = build_tiny_cnn(rng=rng)
+        calib = np.abs(rng.normal(size=(4, 16, 16, 8)))
+        qm = QuantizedSequential.quantize_model(model, calib)
+        qm.prune_weights(DBBSpec(8, 4), skip=["conv1"])
+        config = SystolicConfig(rows=2, cols=2, mode=Mode.AWDBB,
+                                w_spec=DBBSpec(8, 4), a_spec=DBBSpec(8, 4),
+                                tpe_a=2, tpe_c=2)
+        sparse = simulate_network(qm, x, config, a_nnz={"conv2": 1,
+                                                        "fc1": 1, "fc2": 1})
+        dense = simulate_network(qm, x, config, a_nnz={"conv2": 8,
+                                                       "fc1": 8, "fc2": 8})
+        assert sparse.record("conv2").cycles < dense.record("conv2").cycles
+
+
+class TestAggregation:
+    def test_totals(self, qmodel, x):
+        result = simulate_network(qmodel, x, _dense_config())
+        assert result.total_cycles == sum(r.cycles for r in result.records)
+        assert result.total_events.mac_ops > 0
+        assert len(result.records) == 4  # conv1, conv2, fc1, fc2
+
+    def test_unknown_record(self, qmodel, x):
+        result = simulate_network(qmodel, x, _dense_config())
+        with pytest.raises(KeyError):
+            result.record("nope")

@@ -1,0 +1,232 @@
+"""Tests for the systolic array simulator (all four execution modes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.systolic import Mode, SystolicArray, SystolicConfig
+from repro.core.dap import dap_prune
+from repro.core.dbb import DBBSpec
+from repro.core.gemm import dense_gemm
+from repro.core.pruning import prune_weights_dbb
+from repro.core.sparsity import random_unstructured
+
+
+def _operands(seed=0, m=8, k=32, n=8, a_density=0.6, w_nnz=4):
+    rng = np.random.default_rng(seed)
+    a = random_unstructured((m, k), a_density, rng=rng).astype(np.int64)
+    w = random_unstructured((k, n), 0.9, rng=rng).astype(np.int64)
+    w = prune_weights_dbb(w.T, DBBSpec(8, w_nnz)).T
+    return a, w
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystolicConfig(rows=0)
+        with pytest.raises(ValueError):
+            SystolicConfig(mode=Mode.DENSE, tpe_a=2)
+        with pytest.raises(ValueError):
+            SystolicConfig(mode=Mode.AWDBB, w_spec=DBBSpec(8, 4),
+                           a_spec=DBBSpec(4, 2), tpe_a=2, tpe_c=2)
+
+    def test_hardware_macs(self):
+        # Scalar 32x64 baseline: 2048 MACs (Table 4).
+        assert SystolicConfig(rows=32, cols=64).hardware_macs == 2048
+        # S2TA-AW 8x4x4_8x8: 8x8 TPEs x (A=8 x C=4) DP1M4 units = 2048.
+        cfg = SystolicConfig(rows=8, cols=8, mode=Mode.AWDBB,
+                             tpe_a=8, tpe_c=4)
+        assert cfg.hardware_macs == 2048
+        # S2TA-W 4x8x4_4x8 with DP4M8 (4 MACs per DP unit): 4x8 TPEs x
+        # (A=4 x C=4) x 4 = 2048.
+        cfg_w = SystolicConfig(rows=4, cols=8, mode=Mode.WDBB,
+                               tpe_a=4, tpe_c=4, w_spec=DBBSpec(8, 4))
+        assert cfg_w.hardware_macs == 2048
+
+    def test_effective_tile(self):
+        cfg = SystolicConfig(rows=8, cols=8, mode=Mode.AWDBB, tpe_a=8, tpe_c=4)
+        assert cfg.eff_rows == 64
+        assert cfg.eff_cols == 32
+
+
+class TestDenseMode:
+    def test_result_exact(self):
+        a, w = _operands(0)
+        sim = SystolicArray(SystolicConfig(rows=4, cols=4))
+        result = sim.run_gemm(a, w)
+        np.testing.assert_array_equal(result.output, dense_gemm(a, w))
+
+    def test_cycles_formula(self):
+        a, w = _operands(1, m=8, k=32, n=8)
+        sim = SystolicArray(SystolicConfig(rows=4, cols=4))
+        result = sim.run_gemm(a, w)
+        # 2x2 tiles, each K + rows + cols - 2 cycles
+        assert result.cycles == 4 * (32 + 4 + 4 - 2)
+
+    def test_all_slots_issue(self):
+        a, w = _operands(2)
+        sim = SystolicArray(SystolicConfig(rows=4, cols=4))
+        result = sim.run_gemm(a, w)
+        assert result.events.mac_ops == 8 * 8 * 32
+        assert result.events.gated_mac_ops == 0
+
+    def test_shape_mismatch(self):
+        sim = SystolicArray(SystolicConfig())
+        with pytest.raises(ValueError):
+            sim.run_gemm(np.zeros((2, 4)), np.zeros((5, 2)))
+
+
+class TestZvcgMode:
+    def test_same_cycles_as_dense_no_speedup(self):
+        # Fig. 9a: ZVCG never speeds up, it only gates.
+        a, w = _operands(3)
+        dense = SystolicArray(SystolicConfig(rows=4, cols=4)).run_gemm(a, w)
+        zvcg = SystolicArray(
+            SystolicConfig(rows=4, cols=4, mode=Mode.ZVCG)
+        ).run_gemm(a, w)
+        assert zvcg.cycles == dense.cycles
+        np.testing.assert_array_equal(zvcg.output, dense.output)
+
+    def test_gated_slots_match_zero_products(self):
+        a, w = _operands(4)
+        result = SystolicArray(
+            SystolicConfig(rows=4, cols=4, mode=Mode.ZVCG)
+        ).run_gemm(a, w)
+        useful = int(((a != 0).astype(int) @ (w != 0).astype(int)).sum())
+        assert result.events.mac_ops == useful
+        assert result.events.total_mac_slots == 8 * 8 * 32
+
+    def test_utilization_below_one(self):
+        a, w = _operands(5, a_density=0.4)
+        result = SystolicArray(
+            SystolicConfig(rows=4, cols=4, mode=Mode.ZVCG)
+        ).run_gemm(a, w)
+        assert result.mac_utilization < 0.5
+
+
+class TestWdbbMode:
+    def _sim(self, rows=2, cols=2, tpe_a=2, tpe_c=2):
+        return SystolicArray(
+            SystolicConfig(rows=rows, cols=cols, mode=Mode.WDBB,
+                           w_spec=DBBSpec(8, 4), tpe_a=tpe_a, tpe_c=tpe_c)
+        )
+
+    def test_result_exact(self):
+        a, w = _operands(6)
+        result = self._sim().run_gemm(a, w)
+        np.testing.assert_array_equal(result.output, dense_gemm(a, w))
+
+    def test_2x_speedup_over_dense(self):
+        # Fig. 9c: 4/8 W-DBB processes K in K/BZ block steps with NNZ=4
+        # MACs -> 2x fewer cycles at the same MAC count.
+        a, w = _operands(7, m=8, k=64, n=8)
+        dense = SystolicArray(
+            SystolicConfig(rows=4, cols=4)).run_gemm(a, w)
+        wdbb = self._sim().run_gemm(a, w)  # eff tile 4x4
+        # same effective tile size -> same tile count
+        assert dense.cycles / wdbb.cycles == pytest.approx(
+            (64 + 6) / (8 + 2), rel=0.01
+        )
+
+    def test_noncompliant_weights_rejected(self):
+        a, _ = _operands(8)
+        w_dense = np.ones((32, 8), dtype=np.int64)
+        with pytest.raises(ValueError, match="W-DBB bound"):
+            self._sim().run_gemm(a, w_dense)
+
+    def test_mac_slots_are_nnz_per_block(self):
+        a, w = _operands(9, m=4, k=32, n=4)
+        result = self._sim(rows=2, cols=2, tpe_a=2, tpe_c=2).run_gemm(a, w)
+        assert result.events.total_mac_slots == 4 * 4 * 4 * 4  # M*N*Kb*NNZ
+
+
+class TestAwdbbMode:
+    def _sim(self, a_nnz_spec=4):
+        return SystolicArray(
+            SystolicConfig(rows=2, cols=2, mode=Mode.AWDBB,
+                           w_spec=DBBSpec(8, 4), a_spec=DBBSpec(8, a_nnz_spec),
+                           tpe_a=2, tpe_c=2)
+        )
+
+    def test_result_matches_dap_then_dense(self):
+        a, w = _operands(10)
+        result = self._sim().run_gemm(a, w, a_nnz=3)
+        a_ref = dap_prune(a, DBBSpec(8, 3)).pruned
+        np.testing.assert_array_equal(result.output, dense_gemm(a_ref, w))
+
+    def test_cycles_scale_with_a_nnz(self):
+        # Sec. 5.2: density is a pure cycle knob -> cycles proportional
+        # to a_nnz at fixed shape.
+        a, w = _operands(11, m=8, k=64, n=8)
+        sim = self._sim()
+        cycles = {nnz: sim.run_gemm(a, w, a_nnz=nnz).cycles
+                  for nnz in (1, 2, 4)}
+        assert cycles[2] == 2 * cycles[1]
+        assert cycles[4] == 4 * cycles[1]
+
+    def test_dense_bypass(self):
+        a, w = _operands(12)
+        result = self._sim().run_gemm(a, w, a_nnz=8)
+        np.testing.assert_array_equal(result.output, dense_gemm(a, w))
+
+    def test_invalid_a_nnz(self):
+        a, w = _operands(13)
+        with pytest.raises(ValueError):
+            self._sim().run_gemm(a, w, a_nnz=0)
+
+    def test_dap_events_counted_once_per_block(self):
+        a, w = _operands(14, m=4, k=32, n=8)
+        result = self._sim().run_gemm(a, w, a_nnz=2)
+        assert result.events.dap_compare_ops == 4 * 4 * 7 * 2
+
+    def test_speedup_vs_zvcg_is_bz_over_nnz(self):
+        # Fig. 9d: speedup 8/a_nnz over the dense-activation schedule.
+        a, w = _operands(15, m=8, k=64, n=8)
+        zvcg = SystolicArray(
+            SystolicConfig(rows=4, cols=4, mode=Mode.ZVCG)).run_gemm(a, w)
+        sim = self._sim()
+        for nnz, expect in ((1, 8.0), (2, 4.0), (4, 2.0)):
+            res = sim.run_gemm(a, w, a_nnz=nnz)
+            # compare pure compute steps (strip skew): zvcg K per tile,
+            # awdbb K/8*nnz per tile
+            zvcg_steps = 64
+            aw_steps = 64 / 8 * nnz
+            assert zvcg_steps / aw_steps == expect
+            assert res.cycles < zvcg.cycles * (nnz / 8.0) * 2.2
+
+    @given(st.integers(0, 200), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_property_output_exact(self, seed, a_nnz):
+        a, w = _operands(seed, m=4, k=16, n=4)
+        result = self._sim().run_gemm(a, w, a_nnz=a_nnz)
+        if a_nnz < 8:
+            a_ref = dap_prune(a, DBBSpec(8, a_nnz)).pruned
+        else:
+            a_ref = a
+        np.testing.assert_array_equal(result.output, dense_gemm(a_ref, w))
+
+
+class TestCrossModeEnergyOrdering:
+    def test_operand_reg_events_drop_with_tpe_reuse(self):
+        # Sec. 6.1 "Data Reuse": the TPE amortizes operand movement over
+        # multiple MACs -> far fewer register events per MAC slot.
+        a, w = _operands(16, m=16, k=64, n=16)
+        scalar = SystolicArray(
+            SystolicConfig(rows=4, cols=4, mode=Mode.ZVCG)).run_gemm(a, w)
+        tpe = SystolicArray(
+            SystolicConfig(rows=2, cols=2, mode=Mode.AWDBB,
+                           tpe_a=4, tpe_c=4)).run_gemm(a, w, a_nnz=4)
+        scalar_per_slot = scalar.events.operand_reg_ops / scalar.events.total_mac_slots
+        tpe_per_slot = tpe.events.operand_reg_ops / tpe.events.total_mac_slots
+        assert tpe_per_slot < scalar_per_slot / 2
+
+    def test_sram_traffic_drops_with_compression(self):
+        a, w = _operands(17, m=16, k=64, n=16)
+        dense = SystolicArray(
+            SystolicConfig(rows=4, cols=4)).run_gemm(a, w)
+        aw = SystolicArray(
+            SystolicConfig(rows=2, cols=2, mode=Mode.AWDBB,
+                           tpe_a=2, tpe_c=2)).run_gemm(a, w, a_nnz=4)
+        assert aw.events.sram_w_read_bytes < dense.events.sram_w_read_bytes
+        assert aw.events.sram_a_read_bytes < dense.events.sram_a_read_bytes

@@ -1,0 +1,127 @@
+"""Tests for dense/DBB GEMM kernels — functional ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dbb import DBBSpec, compress
+from repro.core.gemm import (
+    compress_operands,
+    dbb_gemm,
+    dense_gemm,
+    gemm_mac_count,
+    joint_dbb_gemm,
+)
+from repro.core.sparsity import random_dbb_tensor, random_unstructured
+
+
+def _random_case(seed, m=5, k=16, n=6, w_nnz=4, a_nnz=None):
+    rng = np.random.default_rng(seed)
+    w_spec = DBBSpec(8, w_nnz)
+    w = random_dbb_tensor((n, k), w_spec, rng=rng).T  # (K, N), column-blocked
+    if a_nnz is None:
+        a = random_unstructured((m, k), 0.6, rng=rng)
+    else:
+        a_spec = DBBSpec(8, a_nnz)
+        a = random_dbb_tensor((m, k), a_spec, rng=rng)
+    return a, w
+
+
+class TestDenseGemm:
+    def test_matches_numpy(self):
+        a, w = _random_case(0)
+        np.testing.assert_array_equal(
+            dense_gemm(a, w), a.astype(np.int64) @ w.astype(np.int64)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dense_gemm(np.zeros((2, 3)), np.zeros((4, 5)))
+
+    def test_mac_count(self):
+        assert gemm_mac_count(2, 3, 4) == 24
+
+
+class TestDbbGemm:
+    def test_matches_dense(self):
+        a, w = _random_case(1)
+        w_dbb = compress(w.T, DBBSpec(8, 4))
+        np.testing.assert_array_equal(dbb_gemm(a, w_dbb), dense_gemm(a, w))
+
+    def test_unpadded_k(self):
+        # K not a multiple of BZ: compression pads with zeros; the kernel
+        # must skip padded positions.
+        rng = np.random.default_rng(2)
+        a = random_unstructured((3, 12), 0.8, rng=rng)
+        w = random_unstructured((12, 4), 0.3, rng=rng)
+        # Enforce the bound on the padded column blocks before compressing.
+        from repro.core.pruning import prune_weights_dbb
+
+        wt = np.concatenate([w.T, np.zeros((4, 4), dtype=w.dtype)], axis=1)
+        w = prune_weights_dbb(wt, DBBSpec(8, 4))[:, :12].T
+        w_dbb = compress(w.T, DBBSpec(8, 4))
+        np.testing.assert_array_equal(dbb_gemm(a, w_dbb), dense_gemm(a, w))
+
+    def test_all_zero_weights(self):
+        a = np.ones((2, 8), dtype=np.int8)
+        w_dbb = compress(np.zeros((3, 8), dtype=np.int8), DBBSpec(8, 4))
+        np.testing.assert_array_equal(dbb_gemm(a, w_dbb), np.zeros((2, 3)))
+
+    @given(st.integers(0, 300), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_dense(self, seed, w_nnz):
+        a, w = _random_case(seed, w_nnz=w_nnz)
+        w_dbb = compress(w.T, DBBSpec(8, w_nnz))
+        np.testing.assert_array_equal(dbb_gemm(a, w_dbb), dense_gemm(a, w))
+
+
+class TestJointDbbGemm:
+    def test_matches_dense(self):
+        a, w = _random_case(3, a_nnz=3)
+        a_dbb, w_dbb = compress_operands(a, w, DBBSpec(8, 3), DBBSpec(8, 4))
+        np.testing.assert_array_equal(joint_dbb_gemm(a_dbb, w_dbb), dense_gemm(a, w))
+
+    def test_disjoint_masks_give_zero(self):
+        spec = DBBSpec(8, 4)
+        a = np.zeros((1, 8), dtype=np.int8)
+        a[0, :4] = 1
+        w = np.zeros((8, 1), dtype=np.int8)
+        w[4:, 0] = 1
+        a_dbb, w_dbb = compress_operands(a, w, spec, spec)
+        np.testing.assert_array_equal(joint_dbb_gemm(a_dbb, w_dbb), [[0]])
+
+    def test_block_size_mismatch_rejected(self):
+        a_dbb = compress(np.zeros((1, 8), dtype=np.int8), DBBSpec(8, 4))
+        w_dbb = compress(np.zeros((1, 4), dtype=np.int8), DBBSpec(4, 2))
+        with pytest.raises(ValueError, match="block sizes"):
+            joint_dbb_gemm(a_dbb, w_dbb)
+
+    def test_reduction_length_mismatch_rejected(self):
+        a_dbb = compress(np.zeros((1, 16), dtype=np.int8), DBBSpec(8, 4))
+        w_dbb = compress(np.zeros((1, 8), dtype=np.int8), DBBSpec(8, 4))
+        with pytest.raises(ValueError, match="reduction"):
+            joint_dbb_gemm(a_dbb, w_dbb)
+
+    @given(st.integers(0, 300), st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_dense(self, seed, w_nnz, a_nnz):
+        a, w = _random_case(seed, m=3, k=16, n=4, w_nnz=w_nnz, a_nnz=a_nnz)
+        a_dbb, w_dbb = compress_operands(a, w, DBBSpec(8, a_nnz), DBBSpec(8, w_nnz))
+        np.testing.assert_array_equal(joint_dbb_gemm(a_dbb, w_dbb), dense_gemm(a, w))
+
+    def test_int8_extremes_no_overflow(self):
+        # -128 * -128 * K accumulations must not overflow int64 (they
+        # wouldn't overflow INT32 either at this K, as in hardware).
+        a = np.full((1, 16), -128, dtype=np.int8)
+        w = np.zeros((16, 1), dtype=np.int8)
+        w[:4, 0] = -128
+        w[8:12, 0] = -128
+        a_spec, w_spec = DBBSpec(8, 8), DBBSpec(8, 4)
+        from repro.core.dap import dap_prune
+
+        a_ok = dap_prune(a, a_spec).pruned
+        a_dbb, w_dbb = compress_operands(a_ok, w, a_spec, w_spec)
+        np.testing.assert_array_equal(
+            joint_dbb_gemm(a_dbb, w_dbb), dense_gemm(a_ok, w)
+        )

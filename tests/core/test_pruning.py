@@ -1,0 +1,142 @@
+"""Tests for static weight DBB pruning (Sec. 4, 8.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dbb import DBBSpec
+from repro.core.pruning import (
+    PruningSchedule,
+    is_dbb_compliant,
+    prune_blocks,
+    prune_weights_dbb,
+    topk_block_mask,
+)
+
+
+class TestTopkBlockMask:
+    def test_keeps_largest_magnitudes(self):
+        blocks = np.array([[1, -9, 3, 0, 7, 0, -2, 5]])
+        mask = topk_block_mask(blocks, 3)
+        np.testing.assert_array_equal(
+            mask, [[False, True, False, False, True, False, False, True]]
+        )
+
+    def test_ties_break_to_lowest_index(self):
+        blocks = np.array([[4, -4, 4, 4, 0, 0, 0, 0]])
+        mask = topk_block_mask(blocks, 2)
+        np.testing.assert_array_equal(
+            mask, [[True, True, False, False, False, False, False, False]]
+        )
+
+    def test_never_keeps_zeros(self):
+        blocks = np.array([[0, 0, 1, 0, 0, 0, 0, 0]])
+        mask = topk_block_mask(blocks, 4)
+        assert mask.sum() == 1
+
+    def test_keep_zero(self):
+        mask = topk_block_mask(np.ones((2, 8)), 0)
+        assert not mask.any()
+
+    def test_keep_all(self):
+        blocks = np.array([[1, 2, 0, 4, 5, 6, 7, 8]])
+        mask = topk_block_mask(blocks, 8)
+        assert mask.sum() == 7  # the zero is never kept
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            topk_block_mask(np.zeros(8), 4)  # 1-D rejected
+        with pytest.raises(ValueError):
+            topk_block_mask(np.zeros((1, 8)), 9)
+
+    @given(
+        st.lists(st.integers(-128, 127), min_size=8, max_size=8),
+        st.integers(0, 8),
+    )
+    @settings(max_examples=200)
+    def test_property_bound_and_magnitude(self, values, keep):
+        blocks = np.array([values])
+        mask = topk_block_mask(blocks, keep)
+        assert mask.sum() <= keep
+        kept = np.abs(blocks[mask])
+        dropped = np.abs(blocks[~mask & (blocks != 0)])
+        if kept.size and dropped.size:
+            assert kept.min() >= dropped.max()
+
+
+class TestPruneWeights:
+    def test_result_is_compliant(self):
+        rng = np.random.default_rng(0)
+        spec = DBBSpec(8, 4)
+        w = rng.integers(-127, 128, size=(16, 64)).astype(np.int8)
+        pruned = prune_weights_dbb(w, spec)
+        assert is_dbb_compliant(pruned, spec)
+        assert pruned.dtype == w.dtype
+        assert pruned.shape == w.shape
+
+    def test_survivors_unchanged(self):
+        spec = DBBSpec(8, 2)
+        w = np.array([[10, -20, 3, 4, 0, 0, 0, 1]], dtype=np.int8)
+        pruned = prune_weights_dbb(w, spec)
+        np.testing.assert_array_equal(
+            pruned, [[10, -20, 0, 0, 0, 0, 0, 0]]
+        )
+
+    def test_already_compliant_unchanged(self):
+        spec = DBBSpec(8, 4)
+        w = np.array([[10, -20, 3, 0, 0, 0, 0, 1]], dtype=np.int8)
+        np.testing.assert_array_equal(prune_weights_dbb(w, spec), w)
+
+    def test_non_multiple_size_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            prune_weights_dbb(np.zeros((2, 7)), DBBSpec(8, 4))
+
+    def test_prune_blocks_values(self):
+        out = prune_blocks(np.array([[5, 1, -7, 2]]), 2)
+        np.testing.assert_array_equal(out, [[5, 0, -7, 0]])
+
+    @given(st.integers(0, 1000), st.integers(1, 8))
+    @settings(max_examples=50)
+    def test_property_compliance(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        spec = DBBSpec(8, nnz)
+        w = rng.integers(-127, 128, size=(4, 32)).astype(np.int8)
+        assert is_dbb_compliant(prune_weights_dbb(w, spec), spec)
+
+
+class TestIsCompliant:
+    def test_handles_padding(self):
+        spec = DBBSpec(8, 1)
+        assert is_dbb_compliant(np.array([0, 0, 0, 0, 0, 0, 0, 0, 5]), spec)
+
+    def test_detects_violation(self):
+        spec = DBBSpec(8, 1)
+        assert not is_dbb_compliant(np.array([1, 2, 0, 0, 0, 0, 0, 0]), spec)
+
+
+class TestPruningSchedule:
+    def test_ramp_endpoints(self):
+        sched = PruningSchedule(DBBSpec(8, 4), start_epoch=0, end_epoch=20)
+        assert sched.keep_at(0) == 8
+        assert sched.keep_at(20) == 4
+        assert sched.keep_at(100) == 4
+
+    def test_monotonic_nonincreasing(self):
+        sched = PruningSchedule(DBBSpec(8, 2), start_epoch=5, end_epoch=25)
+        keeps = [sched.keep_at(e) for e in range(30)]
+        assert all(a >= b for a, b in zip(keeps, keeps[1:]))
+        assert keeps[0] == 8
+        assert keeps[-1] == 2
+
+    def test_apply_is_compliant_when_done(self):
+        spec = DBBSpec(8, 3)
+        sched = PruningSchedule(spec, 0, 10)
+        w = np.random.default_rng(1).normal(size=(4, 32))
+        assert is_dbb_compliant(sched.apply(w, 10), spec)
+        assert sched.done(10)
+        assert not sched.done(9)
+
+    def test_invalid_schedule(self):
+        with pytest.raises(ValueError):
+            PruningSchedule(DBBSpec(8, 4), start_epoch=5, end_epoch=1)

@@ -1,0 +1,75 @@
+"""Tests for the DBB byte-stream format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dbb import DBBSpec, compress, decompress
+from repro.core.serialize import pack, packed_size_bytes, unpack
+from repro.core.sparsity import random_dbb_tensor
+
+
+def _tensor(seed=0, rows=4, cols=32, nnz=4):
+    spec = DBBSpec(8, nnz)
+    dense = random_dbb_tensor((rows, cols), spec,
+                              rng=np.random.default_rng(seed))
+    return compress(dense, spec), dense
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        tensor, dense = _tensor()
+        recovered = unpack(pack(tensor))
+        np.testing.assert_array_equal(
+            decompress(recovered, dtype=np.int8), dense)
+        assert recovered.spec == tensor.spec
+        assert recovered.shape == tensor.shape
+
+    def test_size_matches_energy_model_bytes(self):
+        # The stream body must be exactly the bytes the energy model
+        # charges per block (values + mask).
+        tensor, _ = _tensor(rows=3, cols=40)
+        data = pack(tensor)
+        expected = packed_size_bytes(tensor.spec, 3, 40)
+        assert len(data) == expected
+        body = len(data) - 10  # header
+        blocks = 3 * 5
+        assert body == blocks * tensor.spec.compressed_block_bytes(1)
+
+    def test_unpadded_cols(self):
+        spec = DBBSpec(8, 8)
+        dense = np.arange(1, 23, dtype=np.int8).reshape(2, 11)
+        tensor = compress(dense, spec)
+        recovered = unpack(pack(tensor))
+        np.testing.assert_array_equal(
+            decompress(recovered, dtype=np.int8), dense)
+
+    def test_truncated_stream_rejected(self):
+        tensor, _ = _tensor()
+        data = pack(tensor)
+        with pytest.raises(ValueError, match="truncated"):
+            unpack(data[:-1])
+        with pytest.raises(ValueError, match="truncated"):
+            unpack(data[:4])
+
+    def test_negative_values_roundtrip(self):
+        spec = DBBSpec(8, 2)
+        dense = np.zeros((1, 8), dtype=np.int8)
+        dense[0, 0] = -128
+        dense[0, 7] = 127
+        recovered = unpack(pack(compress(dense, spec)))
+        np.testing.assert_array_equal(
+            decompress(recovered, dtype=np.int8), dense)
+
+    @given(st.integers(0, 500), st.integers(1, 8), st.integers(1, 6),
+           st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, seed, nnz, rows, blocks):
+        spec = DBBSpec(8, nnz)
+        dense = random_dbb_tensor((rows, blocks * 8), spec,
+                                  rng=np.random.default_rng(seed))
+        tensor = compress(dense, spec)
+        recovered = unpack(pack(tensor))
+        np.testing.assert_array_equal(
+            decompress(recovered, dtype=np.int8), dense)

@@ -1,0 +1,124 @@
+"""Tests for sparsity statistics and synthetic tensor generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dbb import DBBSpec
+from repro.core.sparsity import (
+    block_nnz,
+    block_nnz_histogram,
+    dbb_violation_rate,
+    density,
+    effective_block_density,
+    random_dbb_tensor,
+    random_unstructured,
+    relu_activations,
+    sparsity,
+)
+
+
+class TestDensity:
+    def test_all_zero(self):
+        assert density(np.zeros(10)) == 0.0
+
+    def test_all_nonzero(self):
+        assert density(np.ones(10)) == 1.0
+
+    def test_half(self):
+        assert density(np.array([0, 1, 0, 2])) == 0.5
+        assert sparsity(np.array([0, 1, 0, 2])) == 0.5
+
+    def test_empty(self):
+        assert density(np.array([])) == 0.0
+
+
+class TestBlockNNZ:
+    def test_counts_per_block(self):
+        x = np.array([1, 0, 0, 0, 2, 3, 0, 4])
+        np.testing.assert_array_equal(block_nnz(x, 4), [1, 3])
+
+    def test_padding_blocks(self):
+        x = np.ones(10)
+        counts = block_nnz(x, 8)
+        np.testing.assert_array_equal(counts, [8, 2])
+
+    def test_histogram(self):
+        x = np.array([1, 0, 0, 0, 2, 3, 0, 4])
+        assert block_nnz_histogram(x, 4) == {1: 1, 3: 1}
+
+
+class TestViolationRate:
+    def test_compliant_tensor_zero_rate(self):
+        spec = DBBSpec(8, 4)
+        x = random_dbb_tensor((4, 32), spec, rng=np.random.default_rng(1))
+        assert dbb_violation_rate(x, spec) == 0.0
+
+    def test_dense_tensor_full_violation(self):
+        spec = DBBSpec(8, 4)
+        x = np.ones((2, 16))
+        assert dbb_violation_rate(x, spec) == 1.0
+
+    def test_random_dense50_violates_sometimes(self):
+        # Bernoulli(0.5) over BZ=8 exceeds 4 non-zeros ~36% of the time.
+        spec = DBBSpec(8, 4)
+        x = random_unstructured((100, 80), 0.5, rng=np.random.default_rng(2))
+        rate = dbb_violation_rate(x, spec)
+        assert 0.25 < rate < 0.45
+
+
+class TestGenerators:
+    def test_unstructured_density_close(self):
+        x = random_unstructured((200, 200), 0.3, rng=np.random.default_rng(3))
+        assert density(x) == pytest.approx(0.3, abs=0.02)
+
+    def test_unstructured_dtype_and_range(self):
+        x = random_unstructured((50, 50), 0.5, rng=np.random.default_rng(4))
+        assert x.dtype == np.int8
+        assert x.max() <= 127 and x.min() >= -127
+
+    def test_unstructured_invalid_density(self):
+        with pytest.raises(ValueError):
+            random_unstructured((4,), 1.5)
+
+    def test_dbb_tensor_exact_nnz(self):
+        spec = DBBSpec(8, 3)
+        x = random_dbb_tensor((10, 64), spec, rng=np.random.default_rng(5))
+        counts = block_nnz(x, 8)
+        assert np.all(counts == 3)
+
+    def test_dbb_tensor_custom_nnz(self):
+        spec = DBBSpec(8, 4)
+        x = random_dbb_tensor((2, 16), spec, rng=np.random.default_rng(6), nnz=1)
+        assert np.all(block_nnz(x, 8) == 1)
+
+    def test_dbb_tensor_shape_validation(self):
+        with pytest.raises(ValueError):
+            random_dbb_tensor((2, 10), DBBSpec(8, 4))
+        with pytest.raises(ValueError):
+            random_dbb_tensor((2, 16), DBBSpec(8, 4), nnz=9)
+
+    def test_relu_activations_nonnegative(self):
+        x = relu_activations((64, 64), 0.4, rng=np.random.default_rng(7))
+        assert x.min() >= 0
+        assert density(x) == pytest.approx(0.4, abs=0.05)
+
+    @given(st.floats(0.1, 0.9), st.integers(0, 10))
+    @settings(max_examples=20)
+    def test_property_unstructured_density(self, target, seed):
+        x = random_unstructured((64, 64), target, rng=np.random.default_rng(seed))
+        assert density(x) == pytest.approx(target, abs=0.06)
+
+
+class TestEffectiveBlockDensity:
+    def test_dense_input_clamps_to_bound(self):
+        spec = DBBSpec(8, 4)
+        assert effective_block_density(np.ones(16), spec) == pytest.approx(0.5)
+
+    def test_sparse_input_below_bound(self):
+        spec = DBBSpec(8, 4)
+        x = np.zeros(16)
+        x[0] = 1.0
+        # one block with 1 nnz, one with 0 -> mean 0.5 nnz / 8
+        assert effective_block_density(x, spec) == pytest.approx(0.5 / 8)

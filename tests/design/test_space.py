@@ -1,0 +1,119 @@
+"""Tests for the Sec. 7 design-space exploration."""
+
+import pytest
+
+from repro.design import (
+    DesignPoint,
+    enumerate_design_space,
+    evaluate_point,
+    generate_structure,
+    pareto_frontier,
+    select_lowest_power,
+)
+from repro.design.space import TARGET_MACS
+
+
+class TestDesignPoint:
+    def test_notation(self):
+        p = DesignPoint(tpe_a=8, tpe_c=4, rows=8, cols=8)
+        assert p.notation == "8x4x4_8x8"
+
+    def test_hardware_macs_time_unrolled(self):
+        p = DesignPoint(tpe_a=8, tpe_c=4, rows=8, cols=8)
+        assert p.hardware_macs == 2048
+
+    def test_hardware_macs_dot_product(self):
+        p = DesignPoint(tpe_a=4, tpe_c=4, rows=4, cols=8,
+                        time_unrolled=False)
+        assert p.hardware_macs == 2048
+
+    def test_clock_derate_for_large_tpe(self):
+        paper = DesignPoint(tpe_a=8, tpe_c=4, rows=8, cols=8)
+        big = DesignPoint(tpe_a=16, tpe_c=16, rows=2, cols=4)
+        assert paper.clock_ghz == 1.0
+        assert big.clock_ghz < 1.0
+        assert not big.meets_throughput
+
+    def test_paper_point_meets_throughput(self):
+        p = DesignPoint(tpe_a=8, tpe_c=4, rows=8, cols=8)
+        assert p.peak_tops == pytest.approx(4.096, rel=1e-6)
+        assert p.meets_throughput
+
+
+class TestEnumeration:
+    def test_all_points_hit_mac_budget(self):
+        points = list(enumerate_design_space())
+        assert points
+        assert all(p.hardware_macs == TARGET_MACS for p in points)
+        assert all(p.meets_throughput for p in points)
+
+    def test_paper_point_in_space(self):
+        notations = {p.notation for p in enumerate_design_space()}
+        assert "8x4x4_8x8" in notations
+
+    def test_dot_product_space(self):
+        points = list(enumerate_design_space(time_unrolled=False))
+        assert all(p.hardware_macs == TARGET_MACS for p in points)
+        assert "4x4x4_4x8" in {p.notation for p in points}
+
+
+class TestEvaluationAndSelection:
+    @pytest.fixture(scope="class")
+    def evaluations(self):
+        return [evaluate_point(p) for p in enumerate_design_space()]
+
+    def test_paper_tpe_shape_wins(self, evaluations):
+        """Sec. 7: the sweep selects the time-unrolled 8x4x4 TPE (the
+        paper's grid is 8x8; 4x16 evaluates within a fraction of a
+        percent — see EXPERIMENTS.md)."""
+        best = select_lowest_power(evaluations)
+        assert (best.point.tpe_a, best.point.tpe_c) == (8, 4)
+        assert best.point.time_unrolled
+
+    def test_paper_grid_close_to_best(self, evaluations):
+        """The paper's exact 8x8 grid lands within ~10% of our model's
+        best 8x4x4 grid (4x16): the gap is the AB-vs-WB per-access cost
+        asymmetry acting on tile reuse, see EXPERIMENTS.md."""
+        best = select_lowest_power(evaluations)
+        paper = next(e for e in evaluations
+                     if e.point.notation == "8x4x4_8x8")
+        assert paper.energy_uj <= best.energy_uj * 1.12
+
+    def test_tpe_beats_scalar_like_points(self, evaluations):
+        """Bigger TPEs increase reuse: small-TPE points burn more power."""
+        best = select_lowest_power(evaluations)
+        small = [e for e in evaluations if e.point.tpe_a * e.point.tpe_c <= 2]
+        if small:
+            assert min(e.power_mw for e in small) > best.power_mw
+
+    def test_frontier_is_nondominated(self, evaluations):
+        frontier = pareto_frontier(evaluations)
+        assert frontier
+        for a in frontier:
+            assert not any(b.dominates(a) for b in evaluations)
+
+    def test_selection_respects_area_budget(self, evaluations):
+        with pytest.raises(ValueError):
+            select_lowest_power(evaluations, area_budget_mm2=0.1)
+
+
+class TestRtlGen:
+    def test_structure_contains_hierarchy(self):
+        p = DesignPoint(tpe_a=8, tpe_c=4, rows=8, cols=8)
+        text = generate_structure(p)
+        assert "8x4x4_8x8" in text
+        assert "64x tpe" in text
+        assert "32x dp1m4" in text
+        assert "total hardware MACs: 2048" in text
+        assert "dap_array" in text
+
+    def test_dot_product_unit_name(self):
+        p = DesignPoint(tpe_a=4, tpe_c=4, rows=4, cols=8,
+                        time_unrolled=False)
+        text = generate_structure(p)
+        assert "dp4m8" in text
+        assert "macs=4" in text
+
+    def test_deterministic(self):
+        p = DesignPoint(tpe_a=2, tpe_c=2, rows=16, cols=16)
+        assert generate_structure(p) == generate_structure(p)

@@ -1,0 +1,91 @@
+"""Integration tests: every experiment runner produces its artifact.
+
+Deeper numerical assertions live in the accel tests and the benchmark
+files; here we verify each artifact is well-formed and carries its key
+qualitative claims.
+"""
+
+import pytest
+
+from repro.eval import (
+    fig1_energy_breakdown,
+    fig3_smt_overhead,
+    fig9_microbench,
+    fig10_variant_breakdown,
+    fig11_full_models,
+    fig12_alexnet_per_layer,
+    sec7_design_space,
+    tbl1_buffer_per_mac,
+    tbl2_s2ta_breakdown,
+    tbl3_accuracy,
+    tbl4_comparison,
+    tbl5_summary,
+)
+
+
+class TestEveryArtifactRenders:
+    @pytest.mark.parametrize("runner,artifact", [
+        (fig1_energy_breakdown, "Figure 1"),
+        (fig3_smt_overhead, "Figure 3"),
+        (tbl1_buffer_per_mac, "Table 1"),
+        (tbl2_s2ta_breakdown, "Table 2"),
+        (fig10_variant_breakdown, "Figure 10"),
+        (fig11_full_models, "Figure 11"),
+        (fig12_alexnet_per_layer, "Figure 12"),
+        (tbl5_summary, "Table 5"),
+    ])
+    def test_runs_and_renders(self, runner, artifact):
+        result = runner()
+        assert result.artifact == artifact
+        text = result.render()
+        assert artifact in text
+        assert len(result.rows) >= 2
+        assert all(len(row) == len(result.headers) for row in result.rows)
+
+    @pytest.mark.parametrize("panel", ["a", "c", "d"])
+    def test_fig9_panels(self, panel):
+        result = fig9_microbench(panel)
+        assert f"Figure 9{panel}" == result.artifact
+        assert len(result.rows) == 6  # the sweep's six sparsity points
+
+    def test_fig9_invalid_panel(self):
+        with pytest.raises(ValueError):
+            fig9_microbench("e")
+        with pytest.raises(ValueError):
+            fig9_microbench("ab")
+
+    def test_tbl4_both_nodes(self):
+        for tech in ("16nm", "65nm"):
+            result = tbl4_comparison(tech)
+            assert tech in result.artifact
+        with pytest.raises(ValueError):
+            tbl4_comparison("7nm")
+
+    def test_tbl3_quick(self):
+        result = tbl3_accuracy(quick=True)
+        assert len(result.rows) == 4
+        # published reference rows appear in the notes
+        assert any("ResNet-50V1" in note for note in result.notes)
+
+    def test_sec7(self):
+        result = sec7_design_space(top=5)
+        assert len(result.rows) == 5
+        assert any(row[5] for row in result.rows)  # a selected point
+
+
+class TestHeadlineClaims:
+    def test_fig11_average_row(self):
+        result = fig11_full_models()
+        average = result.row("average")
+        assert 1.7 < average[5] < 2.5  # AW energy reduction
+        assert 1.7 < average[6] < 2.5  # AW speedup
+
+    def test_fig12_totals_ordering(self):
+        result = fig12_alexnet_per_layer()
+        totals = {row[0]: row[-1] for row in result.rows}
+        assert totals["S2TA-AW (65nm)"] == min(totals.values())
+
+    def test_fig1_buffers_dominate(self):
+        result = fig1_energy_breakdown()
+        shares = {row[0]: row[1] for row in result.rows}
+        assert max(shares, key=shares.get).startswith("PE-array buffers")

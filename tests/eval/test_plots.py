@@ -1,0 +1,55 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.eval.plots import bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart(["SA", "S2TA-AW"], [1.0, 0.4], width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 10  # max value fills the width
+        assert lines[1].count("#") == 4
+
+    def test_reference_marker(self):
+        text = bar_chart(["a"], [0.5], width=10, reference=1.0)
+        assert "|" in text
+
+    def test_unit_suffix(self):
+        assert "2x" in bar_chart(["a"], [2.0], unit="x")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a", "b"], [1.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_zero_values(self):
+        text = bar_chart(["a"], [0.0])
+        assert "#" not in text
+
+
+class TestSeriesChart:
+    def test_render_contains_markers_and_legend(self):
+        text = series_chart(
+            ["0%", "50%", "87.5%"],
+            {"AW": [1.0, 2.0, 8.0], "ZVCG": [1.0, 1.0, 1.0]},
+        )
+        assert "o=AW" in text
+        assert "x=ZVCG" in text
+        assert text.count("o") >= 3
+
+    def test_extremes_at_grid_edges(self):
+        text = series_chart(["a", "b"], {"s": [0.0, 10.0]}, height=5)
+        lines = text.splitlines()
+        assert "o" in lines[0]       # max on the top row
+        assert "o" in lines[4]       # min on the bottom row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_chart(["a"], {})
+        with pytest.raises(ValueError):
+            series_chart(["a", "b"], {"s": [1.0]})

@@ -1,0 +1,45 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.eval.tables import ExperimentResult, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 10000.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "10,000" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [12.3456], [0.0]])
+        assert "0.123" in text
+        assert "12.3" in text
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            artifact="Figure X",
+            title="demo",
+            headers=["name", "value"],
+            rows=[["a", 1.0], ["b", 2.0]],
+            notes=["a note"],
+        )
+
+    def test_render(self):
+        text = self._result().render()
+        assert "== Figure X: demo ==" in text
+        assert "note: a note" in text
+
+    def test_column(self):
+        assert self._result().column("value") == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            self._result().column("missing")
+
+    def test_row(self):
+        assert self._result().row("b") == ["b", 2.0]
+        with pytest.raises(KeyError):
+            self._result().row("c")

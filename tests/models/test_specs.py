@@ -1,0 +1,157 @@
+"""Tests for the analytic model specs against published architecture facts.
+
+MAC counts are checked against the well-known totals for each network, and
+DBB density profiles against the paper's Table 3 per-model averages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    LayerKind,
+    LayerSpec,
+    ModelSpec,
+    alexnet_spec,
+    get_spec,
+    ibert_spec,
+    lenet5_spec,
+    mobilenet_v1_spec,
+    resnet50_spec,
+    vgg16_spec,
+)
+from repro.models.zoo import MODEL_SPECS
+
+
+class TestLayerSpec:
+    def test_macs(self):
+        layer = LayerSpec("x", LayerKind.CONV, m=10, k=20, n=30)
+        assert layer.macs == 6000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerSpec("x", LayerKind.CONV, m=0, k=1, n=1)
+        with pytest.raises(ValueError):
+            LayerSpec("x", LayerKind.CONV, m=1, k=1, n=1, w_nnz=9)
+
+    def test_density_defaults_to_bound(self):
+        layer = LayerSpec("x", LayerKind.CONV, m=1, k=8, n=1, w_nnz=4, a_nnz=2)
+        assert layer.w_density == 0.5
+        assert layer.a_density == 0.25
+
+    def test_density_override(self):
+        layer = LayerSpec("x", LayerKind.CONV, m=1, k=8, n=1,
+                          weight_density=0.9, act_density=0.1)
+        assert layer.w_density == 0.9
+        assert layer.a_density == 0.1
+
+    def test_memory_bound_kinds(self):
+        assert LayerSpec("x", LayerKind.FC, m=1, k=8, n=8).memory_bound
+        assert LayerSpec("x", LayerKind.DWCONV, m=1, k=9, n=1).memory_bound
+        assert not LayerSpec("x", LayerKind.CONV, m=1, k=8, n=8).memory_bound
+
+    def test_footprints(self):
+        layer = LayerSpec("x", LayerKind.CONV, m=4, k=8, n=2)
+        assert layer.weight_bytes == 16
+        assert layer.activation_bytes == 32
+
+
+class TestModelSpec:
+    def test_duplicate_layers_rejected(self):
+        layer = LayerSpec("same", LayerKind.CONV, m=1, k=1, n=1)
+        with pytest.raises(ValueError):
+            ModelSpec("m", "d", [layer, layer])
+
+    def test_registry_complete(self):
+        assert set(MODEL_SPECS) == {
+            "lenet5", "alexnet", "vgg16", "mobilenet_v1", "resnet50", "ibert"
+        }
+        for name in MODEL_SPECS:
+            spec = get_spec(name)
+            assert spec.total_macs > 0
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_spec("squeezenet")
+
+
+class TestArchitectureFacts:
+    """Layer shapes must reproduce the published MAC totals."""
+
+    def test_alexnet_conv_macs(self):
+        spec = alexnet_spec()
+        # Grouped AlexNet conv MACs ~ 0.666 G.
+        assert spec.conv_macs == pytest.approx(666e6, rel=0.02)
+        assert spec.layer("conv1").macs == 3025 * 363 * 96
+
+    def test_vgg16_macs(self):
+        spec = vgg16_spec()
+        # VGG-16 ~ 15.3 G conv MACs + ~0.12 G FC.
+        assert spec.conv_macs == pytest.approx(15.35e9, rel=0.02)
+
+    def test_mobilenet_macs(self):
+        spec = mobilenet_v1_spec()
+        # MobileNetV1 1.0-224 ~ 569 M total MACs.
+        assert spec.total_macs == pytest.approx(569e6, rel=0.03)
+
+    def test_resnet50_macs(self):
+        spec = resnet50_spec()
+        # ResNet-50 ~ 3.8-4.1 G MACs depending on counting conventions.
+        assert spec.total_macs == pytest.approx(3.9e9, rel=0.06)
+        assert len(spec.conv_layers) == 53  # 1 + (3+4+6+3)*3 + 4 projections
+
+    def test_lenet_macs(self):
+        spec = lenet5_spec()
+        assert spec.layer("conv1").macs == 576 * 25 * 6
+        assert spec.layer("conv2").macs == 64 * 150 * 16
+
+    def test_ibert_structure(self):
+        spec = ibert_spec()
+        assert len(spec.layers) == 12 * 6
+        fc1 = spec.layer("enc0_fc1")
+        assert (fc1.m, fc1.k, fc1.n) == (128, 768, 3072)
+        # attention projections stay dense
+        assert spec.layer("enc0_q").w_nnz == 8
+
+
+class TestDBBProfiles:
+    """Density profiles must match Table 3's reported per-model averages."""
+
+    @pytest.mark.parametrize("name,a_target,w_target", [
+        ("alexnet", 3.9, 4),
+        ("vgg16", 3.1, 3),
+        ("mobilenet_v1", 4.8, 4),
+        ("resnet50", 3.49, 3),
+    ])
+    def test_mac_weighted_a_nnz_matches_table3(self, name, a_target, w_target):
+        spec = get_spec(name)
+        assert spec.mac_weighted_a_nnz() == pytest.approx(a_target, abs=0.3)
+        pruned = [l for l in spec.conv_layers if l.weight_pruned]
+        assert pruned, f"{name} has no pruned conv layers"
+        assert all(l.w_nnz == w_target for l in pruned)
+
+    def test_first_layer_always_excluded(self):
+        for name in ("alexnet", "vgg16", "mobilenet_v1", "resnet50", "lenet5"):
+            first = get_spec(name).conv_layers[0]
+            assert not first.weight_pruned, name
+            assert first.a_nnz == 8, name
+
+    def test_resnet_profile_spans_dense_to_sparse(self):
+        # Sec. 5.2: per-layer A-DBB ranges from ~dense early to 2/8 late.
+        spec = resnet50_spec()
+        nnzs = [l.a_nnz for l in spec.conv_layers]
+        assert max(nnzs) >= 6
+        assert min(nnzs) == 2
+
+    def test_densities_monotone_with_depth_vgg(self):
+        spec = vgg16_spec()
+        convs = spec.conv_layers
+        densities = [l.a_density for l in convs]
+        assert all(a >= b - 1e-9 for a, b in zip(densities, densities[1:]))
+
+    def test_act_density_never_exceeds_bound_when_dapped(self):
+        for name in MODEL_SPECS:
+            for layer in get_spec(name).layers:
+                if not layer.dap_bypassed:
+                    assert layer.a_density <= layer.a_nnz / 8 + 1e-9, (
+                        f"{name}:{layer.name}"
+                    )

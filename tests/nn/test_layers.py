@@ -1,0 +1,125 @@
+"""Tests for the inference layer set."""
+
+import numpy as np
+import pytest
+
+from repro.core.dbb import DBBSpec
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+
+
+class TestConv2d:
+    def test_forward_shape(self):
+        conv = Conv2d(3, 8, (3, 3), padding=1, rng=np.random.default_rng(0))
+        out = conv.forward(np.zeros((2, 8, 8, 3)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_identity_1x1(self):
+        conv = Conv2d(4, 4, (1, 1), weights=np.eye(4))
+        x = np.random.default_rng(1).normal(size=(1, 3, 3, 4))
+        np.testing.assert_allclose(conv.forward(x), x)
+
+    def test_bias(self):
+        conv = Conv2d(2, 3, (1, 1), weights=np.zeros((2, 3)),
+                      bias=np.array([1.0, 2.0, 3.0]))
+        out = conv.forward(np.zeros((1, 2, 2, 2)))
+        np.testing.assert_allclose(out[0, 0, 0], [1.0, 2.0, 3.0])
+
+    def test_weights_shape_validated(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 8, (3, 3), weights=np.zeros((5, 8)))
+
+    def test_gemm_shape(self):
+        conv = Conv2d(3, 96, (11, 11), stride=4, rng=np.random.default_rng(2))
+        assert conv.gemm_shape((227, 227)) == (3025, 363, 96)
+
+    def test_prune_weights_compliant_with_padding(self):
+        # K = 3*3*3 = 27, not a multiple of 8 -> padded block handling.
+        conv = Conv2d(3, 8, (3, 3), rng=np.random.default_rng(3))
+        spec = DBBSpec(8, 2)
+        assert not conv.weights_compliant(spec)
+        conv.prune_weights(spec)
+        assert conv.weights_compliant(spec)
+
+    def test_prune_keeps_shape_dtype(self):
+        conv = Conv2d(8, 4, (1, 1), rng=np.random.default_rng(4))
+        shape = conv.weights.shape
+        conv.prune_weights(DBBSpec(8, 4))
+        assert conv.weights.shape == shape
+
+
+class TestLinear:
+    def test_forward(self):
+        fc = Linear(4, 2, weights=np.arange(8).reshape(4, 2).astype(float))
+        out = fc.forward(np.ones((1, 4)))
+        np.testing.assert_allclose(out, [[0 + 2 + 4 + 6, 1 + 3 + 5 + 7]])
+
+    def test_rejects_wrong_rank(self):
+        fc = Linear(4, 2, rng=np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            fc.forward(np.zeros((1, 2, 2)))
+
+    def test_is_gemm_layer(self):
+        assert Linear(4, 2, rng=np.random.default_rng(6)).has_gemm
+
+
+class TestDepthwiseConv2d:
+    def test_forward_matches_manual(self):
+        rng = np.random.default_rng(7)
+        dw = DepthwiseConv2d(2, (3, 3), padding=1, rng=rng)
+        x = rng.normal(size=(1, 5, 5, 2))
+        out = dw.forward(x)
+        # channel 0 must equal a single-channel convolution with filter 0
+        ref = Conv2d(1, 1, (3, 3), padding=1,
+                     weights=dw.weights[:, :, 0].reshape(-1, 1))
+        np.testing.assert_allclose(
+            out[..., 0:1], ref.forward(x[..., 0:1]), rtol=1e-10
+        )
+
+    def test_channel_mismatch(self):
+        dw = DepthwiseConv2d(4, (3, 3), rng=np.random.default_rng(8))
+        with pytest.raises(ValueError):
+            dw.forward(np.zeros((1, 5, 5, 3)))
+
+    def test_gemm_shape_reduction_is_window(self):
+        dw = DepthwiseConv2d(16, (3, 3), padding=1, rng=np.random.default_rng(9))
+        m, k, n = dw.gemm_shape((14, 14))
+        assert (k, n) == (9, 1)
+        assert m == 14 * 14 * 16
+
+
+class TestPooling:
+    def test_maxpool(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = MaxPool2d(2).forward(x)
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool(self):
+        x = np.ones((1, 4, 4, 2))
+        out = AvgPool2d(2).forward(x)
+        np.testing.assert_allclose(out, np.ones((1, 2, 2, 2)))
+
+    def test_stride_override(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = MaxPool2d(2, stride=1).forward(x)
+        assert out.shape == (1, 3, 3, 1)
+
+
+class TestActivationsAndShape:
+    def test_relu(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_flatten(self):
+        assert Flatten().forward(np.zeros((2, 3, 4, 5))).shape == (2, 60)
+
+    def test_repr(self):
+        assert "conv" in repr(Conv2d(1, 1, (1, 1), name="conv",
+                                     rng=np.random.default_rng(0)))

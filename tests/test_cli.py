@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListCommands:
+    def test_list_models(self, capsys):
+        out = main(["list-models"])
+        assert "mobilenet_v1" in out
+        assert "G MACs" in out
+
+    def test_list_accelerators(self):
+        out = main(["list-accelerators"])
+        assert "S2TA-AW" in out
+        assert "SparTen" in out
+
+
+class TestRun:
+    def test_run_default(self):
+        out = main(["run", "lenet5"])
+        assert "lenet5 on S2TA-AW" in out
+        assert "TOPS/W" in out
+
+    def test_run_with_options(self):
+        out = main(["run", "alexnet", "--accelerator", "sa-zvcg",
+                    "--tech", "65nm", "--conv-only", "--per-layer"])
+        assert "SA-ZVCG" in out
+        assert "conv5" in out
+
+    def test_run_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "squeezenet"])
+
+    def test_run_unknown_tech_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "lenet5", "--tech", "3nm"])
+
+
+class TestExperiment:
+    def test_fig1(self):
+        out = main(["experiment", "fig1"])
+        assert "Figure 1" in out
+
+    def test_ablation(self):
+        out = main(["experiment", "ablation-bz"])
+        assert "block size" in out
+
+    def test_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestSweep:
+    def test_sweep(self):
+        out = main(["sweep", "--top", "3"])
+        assert "Section 7" in out
+        assert "8x4x4" in out

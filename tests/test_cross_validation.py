@@ -1,0 +1,155 @@
+"""Cross-validation: analytic accelerator models vs the cycle-level sim.
+
+The analytic models (repro.accel) price whole ImageNet networks from
+density parameters; the cycle-level simulator (repro.arch.systolic)
+executes concrete tensors. On matched small geometries and workloads
+the two must agree on the event counts that drive energy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.s2ta import S2TAAW, S2TAW
+from repro.accel.sa import DenseSA, ZvcgSA
+from repro.arch.systolic import Mode, SystolicArray, SystolicConfig
+from repro.core.dbb import DBBSpec
+from repro.core.sparsity import density, random_dbb_tensor, random_unstructured
+from repro.models.specs import LayerKind, LayerSpec
+
+
+def _workload(seed, m=32, k=64, n=32, w_nnz=4, a_density=0.5):
+    rng = np.random.default_rng(seed)
+    a = random_unstructured((m, k), a_density, rng=rng).astype(np.int64)
+    w = random_dbb_tensor((n, k), DBBSpec(8, w_nnz), rng=rng).T.astype(np.int64)
+    layer = LayerSpec(
+        "xval", LayerKind.CONV, m=m, k=k, n=n,
+        w_nnz=w_nnz, a_nnz=8,
+        weight_density=density(w), act_density=density(a),
+    )
+    return a, w, layer
+
+
+class TestDenseSAAgreement:
+    def test_sram_and_mac_events_match(self):
+        a, w, layer = _workload(0)
+        sim = SystolicArray(SystolicConfig(rows=4, cols=4, mode=Mode.DENSE))
+        sim_events = sim.run_gemm(a, w).events
+
+        model = DenseSA()
+        model.rows, model.cols = 4, 4
+        _, ana_events = model._layer_events(layer)
+
+        assert ana_events.sram_a_read_bytes == sim_events.sram_a_read_bytes
+        assert ana_events.sram_w_read_bytes == sim_events.sram_w_read_bytes
+        assert ana_events.sram_a_write_bytes == sim_events.sram_a_write_bytes
+        assert ana_events.total_mac_slots == sim_events.total_mac_slots
+        assert ana_events.operand_reg_ops == sim_events.operand_reg_ops
+
+    def test_cycle_models_agree_within_skew(self):
+        a, w, layer = _workload(1)
+        sim = SystolicArray(SystolicConfig(rows=4, cols=4, mode=Mode.DENSE))
+        sim_cycles = sim.run_gemm(a, w).cycles
+        model = DenseSA()
+        model.rows, model.cols = 4, 4
+        ana_cycles, _ = model._layer_events(layer)
+        # The simulator pays skew per tile, the analytic model once.
+        tiles = 8 * 8
+        assert abs(sim_cycles - ana_cycles) <= tiles * (4 + 4 - 2)
+
+
+class TestZvcgAgreement:
+    @given(st.integers(0, 100), st.floats(0.2, 0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_property_fired_macs_match_exactly(self, seed, a_density):
+        a, w, layer = _workload(seed, a_density=a_density)
+        sim = SystolicArray(SystolicConfig(rows=4, cols=4, mode=Mode.ZVCG))
+        sim_events = sim.run_gemm(a, w).events
+
+        model = ZvcgSA()
+        model.rows, model.cols = 4, 4
+        _, ana_events = model._layer_events(layer)
+        # The analytic model estimates fired MACs as macs * d_w * d_a;
+        # random patterns make that an unbiased estimate.
+        assert ana_events.mac_ops == pytest.approx(sim_events.mac_ops,
+                                                   rel=0.08)
+        assert ana_events.total_mac_slots == sim_events.total_mac_slots
+
+
+class TestS2TAWAgreement:
+    def test_weight_sram_compression_matches(self):
+        a, w, layer = _workload(2)
+        sim = SystolicArray(SystolicConfig(
+            rows=2, cols=2, mode=Mode.WDBB, w_spec=DBBSpec(8, 4),
+            tpe_a=2, tpe_c=2))
+        sim_events = sim.run_gemm(a, w).events
+
+        model = S2TAW(rows=2, cols=2, tpe_a=2, tpe_c=2)
+        _, ana_events = model._layer_events(layer)
+        assert ana_events.sram_w_read_bytes == sim_events.sram_w_read_bytes
+        assert ana_events.sram_a_read_bytes == sim_events.sram_a_read_bytes
+
+    def test_mac_slots_match(self):
+        a, w, layer = _workload(3)
+        sim = SystolicArray(SystolicConfig(
+            rows=2, cols=2, mode=Mode.WDBB, w_spec=DBBSpec(8, 4),
+            tpe_a=2, tpe_c=2))
+        sim_events = sim.run_gemm(a, w).events
+        model = S2TAW(rows=2, cols=2, tpe_a=2, tpe_c=2)
+        _, ana_events = model._layer_events(layer)
+        assert ana_events.total_mac_slots == sim_events.total_mac_slots
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_property_fired_macs_close(self, seed):
+        a, w, layer = _workload(seed)
+        sim = SystolicArray(SystolicConfig(
+            rows=2, cols=2, mode=Mode.WDBB, w_spec=DBBSpec(8, 4),
+            tpe_a=2, tpe_c=2))
+        sim_events = sim.run_gemm(a, w).events
+        model = S2TAW(rows=2, cols=2, tpe_a=2, tpe_c=2)
+        _, ana_events = model._layer_events(layer)
+        assert ana_events.mac_ops == pytest.approx(sim_events.mac_ops,
+                                                   rel=0.1)
+
+
+class TestS2TAAWAgreement:
+    def _pair(self, seed, a_nnz):
+        a, w, _ = _workload(seed)
+        sim = SystolicArray(SystolicConfig(
+            rows=2, cols=2, mode=Mode.AWDBB,
+            w_spec=DBBSpec(8, 4), a_spec=DBBSpec(8, a_nnz),
+            tpe_a=2, tpe_c=2))
+        sim_result = sim.run_gemm(a, w, a_nnz=a_nnz)
+        # The analytic layer must see post-DAP densities, like the sim.
+        from repro.core.dap import dap_prune
+
+        a_pruned = dap_prune(a, DBBSpec(8, a_nnz)).pruned
+        layer = LayerSpec(
+            "xval", LayerKind.CONV, m=a.shape[0], k=a.shape[1],
+            n=w.shape[1], w_nnz=4, a_nnz=a_nnz,
+            weight_density=density(w), act_density=density(a_pruned),
+        )
+        model = S2TAAW(rows=2, cols=2, tpe_a=2, tpe_c=2)
+        _, ana_events = model._layer_events(layer)
+        return sim_result.events, ana_events
+
+    @pytest.mark.parametrize("a_nnz", [1, 2, 4])
+    def test_slots_and_sram_match(self, a_nnz):
+        sim_events, ana_events = self._pair(4, a_nnz)
+        assert ana_events.total_mac_slots == sim_events.total_mac_slots
+        assert ana_events.sram_a_read_bytes == sim_events.sram_a_read_bytes
+        assert ana_events.sram_w_read_bytes == sim_events.sram_w_read_bytes
+
+    @pytest.mark.parametrize("a_nnz", [2, 4])
+    def test_dap_events_match(self, a_nnz):
+        sim_events, ana_events = self._pair(5, a_nnz)
+        assert ana_events.dap_compare_ops == sim_events.dap_compare_ops
+
+    @given(st.integers(0, 50), st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_property_fired_macs_close(self, seed, a_nnz):
+        sim_events, ana_events = self._pair(seed, a_nnz)
+        assert ana_events.mac_ops == pytest.approx(
+            sim_events.mac_ops, rel=0.15, abs=200)

@@ -1,0 +1,129 @@
+"""Cross-cutting model invariants (property-based).
+
+These hold across the whole accelerator-model family and guard the
+calibration from regressions: energy falls (weakly) with sparsity,
+cycles are monotone in the DBB bounds, technology scaling preserves
+architecture ratios, and energy breakdowns are non-negative and sum
+consistently.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import (
+    SCNN,
+    S2TAAW,
+    S2TAW,
+    S2TAWA,
+    DenseSA,
+    EyerissV2,
+    SmtSA,
+    SparTen,
+    ZvcgSA,
+)
+
+ALL_ACCELERATORS = [DenseSA, ZvcgSA, SmtSA, S2TAW, S2TAAW, S2TAWA,
+                    SCNN, SparTen, EyerissV2]
+SA_FAMILY = [DenseSA, ZvcgSA, SmtSA, S2TAW, S2TAAW, S2TAWA]
+
+
+@pytest.fixture(scope="module", params=ALL_ACCELERATORS,
+                ids=lambda cls: cls.__name__)
+def accelerator(request):
+    return request.param()
+
+
+class TestBreakdownInvariants:
+    def test_components_non_negative_and_sum(self, accelerator):
+        result = accelerator.microbench_layer(0.5, 0.5)
+        b = result.breakdown
+        for component in (b.datapath, b.buffers, b.sram, b.dap, b.actfn):
+            assert component >= 0.0
+        assert b.total_pj == pytest.approx(
+            b.datapath + b.buffers + b.sram + b.dap + b.actfn)
+
+    def test_positive_cycles_and_energy(self, accelerator):
+        result = accelerator.microbench_layer(0.5, 0.5)
+        assert result.cycles > 0
+        assert result.energy_pj > 0
+
+
+class TestSparsityMonotonicity:
+    @pytest.mark.parametrize("accel_cls", SA_FAMILY,
+                             ids=lambda cls: cls.__name__)
+    def test_energy_weakly_decreasing_in_joint_sparsity(self, accel_cls):
+        accel = accel_cls()
+        energies = []
+        for nnz in (8, 6, 4, 2):
+            d = nnz / 8
+            energies.append(
+                accel.microbench_layer(d, d, w_nnz=nnz, a_nnz=nnz).energy_pj)
+        assert all(a >= b * 0.999 for a, b in zip(energies, energies[1:]))
+
+    def test_aw_cycles_monotone_in_a_nnz(self):
+        aw = S2TAAW()
+        cycles = [aw.microbench_layer(0.5, nnz / 8, a_nnz=nnz).compute_cycles
+                  for nnz in (1, 2, 3, 4, 5, 8)]
+        assert all(a <= b for a, b in zip(cycles, cycles[1:]))
+
+    def test_wa_cycles_monotone_in_w_nnz(self):
+        wa = S2TAWA()
+        cycles = [wa.microbench_layer(nnz / 8, 0.5, w_nnz=nnz).compute_cycles
+                  for nnz in (1, 2, 3, 4, 8)]
+        assert all(a <= b for a, b in zip(cycles, cycles[1:]))
+
+
+class TestTechScaling:
+    @pytest.mark.parametrize("accel_cls", [ZvcgSA, S2TAW, S2TAAW],
+                             ids=lambda cls: cls.__name__)
+    def test_node_change_preserves_architecture_ratios(self, accel_cls):
+        """Energy ratios between architectures are node-invariant, so the
+        65 nm comparisons inherit the 16 nm calibration."""
+        layer_args = (0.5, 0.375)
+        e16 = (accel_cls().microbench_layer(*layer_args).energy_pj
+               / ZvcgSA().microbench_layer(*layer_args).energy_pj)
+        e65 = (accel_cls(tech="65nm").microbench_layer(*layer_args).energy_pj
+               / ZvcgSA(tech="65nm").microbench_layer(*layer_args).energy_pj)
+        assert e16 == pytest.approx(e65, rel=1e-9)
+
+    def test_65nm_costs_more_energy_and_area(self):
+        for accel_cls in (ZvcgSA, S2TAAW):
+            a16 = accel_cls()
+            a65 = accel_cls(tech="65nm")
+            assert (a65.microbench_layer(0.5, 0.5).energy_pj
+                    > a16.microbench_layer(0.5, 0.5).energy_pj)
+            assert a65.area_mm2() > a16.area_mm2()
+
+
+class TestEventConservation:
+    @given(st.floats(0.15, 0.95), st.floats(0.15, 0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_property_fired_never_exceeds_slots(self, w_density, a_density):
+        for accel_cls in (ZvcgSA, S2TAW, S2TAAW, S2TAWA):
+            result = accel_cls().microbench_layer(w_density, a_density)
+            events = result.events
+            assert events.mac_ops <= events.total_mac_slots
+            assert events.gated_mac_ops >= 0
+            assert events.acc_reg_ops >= 0
+
+    @given(st.floats(0.15, 0.95))
+    @settings(max_examples=15, deadline=None)
+    def test_property_compressed_never_beats_entropy_floor(self, w_density):
+        """DBB weight streams are never smaller than NNZ values + masks."""
+        layer = S2TAW().microbench_layer(w_density, 0.5).layer
+        stream = S2TAW()._weight_stream_bytes(layer)
+        kb = -(-layer.k // 8)
+        floor = layer.n * kb * min(layer.w_nnz, 4)
+        assert stream >= floor
+
+
+class TestUtilizationBounds:
+    def test_utilization_in_unit_interval(self, accelerator):
+        result = accelerator.microbench_layer(0.4, 0.6)
+        assert 0.0 <= result.events.mac_utilization <= 1.0
+
+    def test_dense_data_high_utilization_on_dense_sa(self):
+        result = DenseSA().microbench_layer(1.0, 1.0)
+        assert result.events.mac_utilization > 0.95

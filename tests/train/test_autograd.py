@@ -1,0 +1,147 @@
+"""Gradient checks for the minimal autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.train.autograd import Tensor, cross_entropy
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar f wrt array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        hi = f()
+        x[idx] = original - eps
+        lo = f()
+        x[idx] = original
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestOps:
+    def test_add_backward(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+        np.testing.assert_allclose(b.grad, [1, 1])
+
+    def test_add_broadcast_bias(self):
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        bias = Tensor(np.zeros(4), requires_grad=True)
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, [3, 3, 3, 3])
+
+    def test_mul_backward(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([5.0, 7.0]), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5, 7])
+        np.testing.assert_allclose(b.grad, [2, 3])
+
+    def test_matmul_numerical(self):
+        rng = np.random.default_rng(0)
+        a_data = rng.normal(size=(3, 4))
+        b_data = rng.normal(size=(4, 2))
+
+        a = Tensor(a_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        a.matmul(b).sum().backward()
+
+        expected_a = numerical_grad(
+            lambda: (a_data @ b_data).sum(), a_data)
+        np.testing.assert_allclose(a.grad, expected_a, atol=1e-5)
+
+    def test_relu_backward(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]), requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 0, 1])
+
+    def test_apply_mask_is_ste(self):
+        x = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+        mask = np.array([1.0, 0.0, 1.0])
+        out = x.apply_mask(mask)
+        np.testing.assert_allclose(out.data, [1, 0, 3])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, mask)
+
+    def test_mean_backward(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 2), 0.25))
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            x.backward()
+
+    def test_grad_accumulates_on_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (x + x).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0])
+
+    def test_no_grad_tracking_when_not_required(self):
+        x = Tensor(np.ones(3))
+        y = x.relu()
+        assert not y.requires_grad
+
+
+class TestCrossEntropy:
+    def test_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        logits_data = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+
+        logits = Tensor(logits_data.copy(), requires_grad=True)
+        cross_entropy(logits, labels).backward()
+
+        def loss():
+            shifted = logits_data - logits_data.max(axis=1, keepdims=True)
+            p = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+            return -np.log(p[np.arange(5), labels]).mean()
+
+        expected = numerical_grad(loss, logits_data)
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]),
+                        requires_grad=True)
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.data < 1e-6
+
+    def test_label_shape_validated(self):
+        logits = Tensor(np.zeros((3, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            cross_entropy(logits, np.zeros(4, dtype=int))
+
+
+class TestEndToEndGradient:
+    def test_two_layer_network_numerical(self):
+        rng = np.random.default_rng(2)
+        w1_data = rng.normal(size=(6, 5))
+        w2_data = rng.normal(size=(5, 3))
+        x_data = rng.normal(size=(4, 6))
+        labels = rng.integers(0, 3, size=4)
+
+        w1 = Tensor(w1_data.copy(), requires_grad=True)
+        w2 = Tensor(w2_data.copy(), requires_grad=True)
+        x = Tensor(x_data)
+        loss = cross_entropy(x.matmul(w1).relu().matmul(w2), labels)
+        loss.backward()
+
+        def f():
+            h = np.maximum(x_data @ w1_data, 0)
+            logits = h @ w2_data
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            p = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+            return -np.log(p[np.arange(4), labels]).mean()
+
+        np.testing.assert_allclose(w1.grad, numerical_grad(f, w1_data),
+                                   atol=1e-5)
+        np.testing.assert_allclose(w2.grad, numerical_grad(f, w2_data),
+                                   atol=1e-5)

@@ -1,0 +1,86 @@
+"""Tests for the trace -> accelerator workload bridge."""
+
+import numpy as np
+import pytest
+
+from repro.accel import S2TAAW, ZvcgSA
+from repro.core.dbb import DBBSpec
+from repro.models.specs import LayerKind
+from repro.models.zoo import build_lenet5, build_tiny_cnn, build_tiny_mobilenet
+from repro.workloads.from_trace import run_and_spec, spec_from_trace
+
+
+def _traced(builder, shape, dap=None, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    model = builder(rng=rng)
+    x = np.abs(rng.normal(size=shape))
+    return model, model.forward(x, dap_spec=dap, **kwargs)
+
+
+class TestSpecFromTrace:
+    def test_gemm_shapes_carried_over(self):
+        model, result = _traced(build_lenet5, (1, 28, 28, 1))
+        spec = spec_from_trace(result)
+        assert spec.layer("conv1").m == 576
+        assert spec.layer("conv2").k == 150
+        assert spec.layer("fc3").kind is LayerKind.FC
+        assert len(spec.layers) == 5
+
+    def test_first_layer_excluded_by_default(self):
+        _, result = _traced(build_lenet5, (1, 28, 28, 1))
+        spec = spec_from_trace(result)
+        assert not spec.layer("conv1").weight_pruned
+        assert spec.layer("conv2").weight_pruned
+
+    def test_dap_trace_sets_a_nnz(self):
+        _, result = _traced(build_tiny_cnn, (2, 16, 16, 8),
+                            dap=DBBSpec(8, 3))
+        spec = spec_from_trace(result)
+        assert spec.layer("conv2").a_nnz == 3
+        assert spec.layer("conv1").a_nnz == 8  # first GEMM never DAP'd
+
+    def test_measured_densities_used(self):
+        _, result = _traced(build_tiny_cnn, (2, 16, 16, 8),
+                            dap=DBBSpec(8, 2))
+        spec = spec_from_trace(result)
+        conv2 = spec.layer("conv2")
+        assert conv2.a_density <= 2 / 8 + 1e-9
+
+    def test_depthwise_kind_and_exclusion(self):
+        _, result = _traced(build_tiny_mobilenet, (1, 16, 16, 8))
+        spec = spec_from_trace(result)
+        dw = spec.layer("dw1")
+        assert dw.kind is LayerKind.DWCONV
+        assert not dw.weight_pruned
+
+    def test_no_gemm_trace_rejected(self):
+        from repro.nn.layers import ReLU
+        from repro.nn.model import Sequential
+
+        model = Sequential([ReLU(name="r")])
+        result = model.forward(np.ones((1, 4)))
+        with pytest.raises(ValueError):
+            spec_from_trace(result)
+
+
+class TestEndToEndPricing:
+    def test_traced_workload_runs_on_accelerators(self):
+        rng = np.random.default_rng(1)
+        model = build_tiny_cnn(rng=rng)
+        x = np.abs(rng.normal(size=(2, 16, 16, 8)))
+        spec = run_and_spec(model, x, dap_spec=DBBSpec(8, 3))
+        zvcg = ZvcgSA().run_model(spec)
+        aw = S2TAAW().run_model(spec)
+        assert aw.energy_uj < zvcg.energy_uj
+        assert zvcg.total_cycles > 0
+
+    def test_dap_trace_speeds_up_aw(self):
+        rng = np.random.default_rng(2)
+        model = build_tiny_cnn(rng=rng)
+        x = np.abs(rng.normal(size=(2, 16, 16, 8)))
+        dense_spec = run_and_spec(model, x)
+        dap_spec = run_and_spec(model, x, dap_spec=DBBSpec(8, 2))
+        aw = S2TAAW()
+        dense_run = aw.run_model(dense_spec)
+        dap_run = aw.run_model(dap_spec)
+        assert dap_run.total_cycles < dense_run.total_cycles
