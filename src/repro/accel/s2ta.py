@@ -26,6 +26,7 @@ from typing import Tuple
 
 from repro.accel.base import AcceleratorModel
 from repro.arch.events import EventCounts
+from repro.core.dbb import DBBSpec
 from repro.models.specs import BLOCK_SIZE, LayerSpec
 
 __all__ = ["S2TAW", "S2TAAW", "S2TAWA"]
@@ -134,6 +135,32 @@ class S2TAW(AcceleratorModel):
         events.sram_a_write_bytes = layer.m * layer.n
         events.mcu_elementwise_ops = layer.m * layer.n
         return compute_cycles, events
+
+    # -------------------------------------------------------------- #
+    # Functional cross-check bridge
+    # -------------------------------------------------------------- #
+
+    def functional_sim_config(self):
+        """The cycle simulator's config for this design point."""
+        from repro.arch.systolic import Mode, SystolicConfig
+
+        return SystolicConfig(
+            rows=self.rows, cols=self.cols, mode=Mode.WDBB,
+            w_spec=DBBSpec(BLOCK_SIZE, self.datapath_nnz),
+            tpe_a=self.tpe_a, tpe_c=self.tpe_c,
+        )
+
+    def run_gemm_functional(self, a, w):
+        """Run one concrete GEMM on the functional/cycle simulator.
+
+        The simulator compresses the weight operand through the shared
+        :func:`repro.core.gemm.compress_cached` memo, so sweeping the
+        same workload across variants (S2TA-W, S2TA-AW, density points)
+        compresses each weight tensor exactly once.
+        """
+        from repro.arch.systolic import SystolicArray
+
+        return SystolicArray(self.functional_sim_config()).run_gemm(a, w)
 
 
 class S2TAAW(AcceleratorModel):
@@ -244,6 +271,37 @@ class S2TAAW(AcceleratorModel):
                 layer.m * kb * (BLOCK_SIZE - 1) * steps
             )
         return compute_cycles, events
+
+    # -------------------------------------------------------------- #
+    # Functional cross-check bridge
+    # -------------------------------------------------------------- #
+
+    def functional_sim_config(self):
+        """The cycle simulator's config for this design point."""
+        from repro.arch.systolic import Mode, SystolicConfig
+
+        return SystolicConfig(
+            rows=self.rows, cols=self.cols, mode=Mode.AWDBB,
+            w_spec=DBBSpec(BLOCK_SIZE, self.w_nnz_hw),
+            a_spec=DBBSpec(BLOCK_SIZE, self.w_nnz_hw),
+            tpe_a=self.tpe_a, tpe_c=self.tpe_c,
+        )
+
+    def run_gemm_functional(self, a, w, a_nnz=None):
+        """Run one concrete GEMM on the functional/cycle simulator.
+
+        ``a_nnz`` is the per-layer A-DBB density knob (dense bypass at
+        ``BLOCK_SIZE``). The time-unrolled simulator needs no operand
+        compression at all — its event counts are closed-form over
+        non-zero counts — so sweeping ``a_nnz`` here costs no compression
+        work; only the W-DBB variant (:class:`S2TAW`) compresses weights,
+        once, through the shared :func:`repro.core.gemm.compress_cached`
+        memo.
+        """
+        from repro.arch.systolic import SystolicArray
+
+        return SystolicArray(self.functional_sim_config()).run_gemm(
+            a, w, a_nnz=a_nnz)
 
 
 class S2TAWA(AcceleratorModel):

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.arch.events import EventCounts
 from repro.core.dap import DAP_MAX_HARDWARE_NNZ
-from repro.core.dbb import DBBBlock, DBBSpec, positions_to_mask
+from repro.core.dbb import DBBBlock, DBBSpec, blocked_rows, positions_to_mask
 
 __all__ = ["DAPHardware", "DAPStageTrace"]
 
@@ -136,23 +136,29 @@ class DAPHardware:
 
         Returns the dense-layout pruned tensor and total comparator events;
         bit-exact with :func:`repro.core.dap.dap_prune`.
+
+        Vectorized: the cascade's stage-by-stage winner selection (strict
+        ``>`` with left-operand priority) is exactly Top-``nnz`` by
+        magnitude with lowest-index tie-breaking, so the whole tensor runs
+        through the shared :func:`~repro.core.pruning.topk_block_mask`
+        kernel in one pass; :meth:`prune_block` remains the per-block
+        ground truth (agreement is property-tested). Comparator events are
+        data-independent — every stage burns ``BZ - 1`` comparisons — so
+        they are charged in closed form.
         """
+        if not 1 <= nnz <= self.max_stages:
+            raise ValueError(
+                f"nnz={nnz} outside hardware range [1, {self.max_stages}]; "
+                f"denser layers bypass DAP"
+            )
         activations = np.asarray(activations)
         original_shape = activations.shape
-        last = original_shape[-1]
-        pad = (-last) % self.block_size
-        work = activations.reshape(-1, last)
-        if pad:
-            work = np.concatenate(
-                [work, np.zeros((work.shape[0], pad), dtype=work.dtype)], axis=1
-            )
-        blocks = work.reshape(-1, self.block_size)
-        out = np.zeros_like(blocks)
+        blocks, work_shape, last = blocked_rows(activations, self.block_size)
+        from repro.core.pruning import topk_block_mask
+
+        keep = topk_block_mask(blocks, nnz)
+        out = np.where(keep, blocks, np.zeros_like(blocks))
         events = EventCounts()
-        for i in range(blocks.shape[0]):
-            compressed, _traces, block_events = self.prune_block(blocks[i], nnz)
-            events += block_events
-            for pos, val in compressed.nonzero_pairs():
-                out[i, pos] = val
-        pruned = out.reshape(work.shape)[:, :last].reshape(original_shape)
+        events.dap_compare_ops = blocks.shape[0] * (self.block_size - 1) * nnz
+        pruned = out.reshape(work_shape)[:, :last].reshape(original_shape)
         return pruned.astype(activations.dtype), events

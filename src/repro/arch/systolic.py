@@ -21,6 +21,15 @@ The TPE organization (Sec. 6.1) is parameterized by ``tpe_a`` x ``tpe_c``
 scalar-PE baselines are the degenerate 1x1 case. TPE data reuse shows up
 as fewer operand-register and accumulator events per MAC — the effect
 behind Table 1's buffer-per-MAC comparison.
+
+All event counting is vectorized: the data-dependent fired-MAC counts
+reduce to dot products of per-reduction-index non-zero counts (the
+bitmask-intersection popcount sum separates per index — see
+:mod:`repro.core.reference` for the retained per-block walk they are
+fuzz-tested against). The ``AWDBB`` path needs no operand compression at
+all; ``WDBB`` compresses weights through the shared
+:func:`repro.core.gemm.compress_cached` memo, so a workload swept across
+modes/density points compresses its weights at most once.
 """
 
 from __future__ import annotations
@@ -34,8 +43,8 @@ import numpy as np
 
 from repro.arch.events import EventCounts
 from repro.core.dap import dap_prune
-from repro.core.dbb import DBBSpec, compress
-from repro.core.gemm import dense_gemm
+from repro.core.dbb import DBBSpec
+from repro.core.gemm import compress_cached, dbb_gemm, dense_gemm
 from repro.core.pruning import is_dbb_compliant
 
 __all__ = ["Mode", "SystolicConfig", "SystolicResult", "SystolicArray"]
@@ -231,19 +240,22 @@ class SystolicArray:
         tiles_m, tiles_n = self._tile_counts(m, n)
         tiles = tiles_m * tiles_n
         cycles = tiles * (k_blocks + self._skew())
-        w_dbb = compress(w.T, spec)
+        # The weight compression memo is shared across the mode/density
+        # sweep: every variant of a workload compresses the same W once.
+        w_dbb = compress_cached(w.T, spec)
         events = EventCounts(cycles=cycles)
         # MAC slots: NNZ per (output, block); padded tiles gate.
         slots = tiles * cfg.eff_rows * cfg.eff_cols * k_blocks * spec.max_nnz
-        a_nz_cols = (a != 0).sum(axis=0)  # per reduction index
-        fired = 0
+        # A MAC fires per (stored non-zero weight, non-zero activation at
+        # the matching reduction index). Stored non-zeros of a compressed
+        # compliant tensor are exactly the non-zeros of W, so the triple
+        # loop over blocks collapses to one dot product of per-index
+        # non-zero counts (bit-identical with the per-block walk, see
+        # repro.core.reference.naive_wdbb_fired).
+        a_nz_cols = np.count_nonzero(a, axis=0).astype(np.int64)
+        w_nz_rows = np.count_nonzero(w, axis=1).astype(np.int64)
+        fired = int(a_nz_cols @ w_nz_rows)
         mux = n * k_blocks * spec.max_nnz * m
-        for col in range(n):
-            for b, block in enumerate(w_dbb.row_blocks(col)):
-                for pos, val in block.nonzero_pairs():
-                    idx = b * bz + pos
-                    if idx < k and val != 0:
-                        fired += int(a_nz_cols[idx])
         events.mac_ops = fired
         events.gated_mac_ops = slots - fired
         events.mux_ops = mux
@@ -264,8 +276,6 @@ class SystolicArray:
                               a_bytes_per_pass=m * k,
                               w_bytes_per_pass=w_bytes_per_pass,
                               tiles_m=tiles_m, tiles_n=tiles_n)
-        from repro.core.gemm import dbb_gemm
-
         out = dbb_gemm(a, w_dbb)
         return SystolicResult(output=out, cycles=cycles, events=events,
                               mode=cfg.mode)
@@ -295,8 +305,6 @@ class SystolicArray:
             a_pruned = dap_prune(a, a_spec, nnz=nnz_a).pruned
         else:
             a_pruned = a
-        a_dbb = compress(a_pruned, a_spec.with_nnz(min(nnz_a, bz)))
-        w_dbb = compress(w.T, w_spec)
         tiles_m, tiles_n = self._tile_counts(m, n)
         tiles = tiles_m * tiles_n
         steps_per_block = nnz_a if nnz_a < bz else bz
@@ -304,19 +312,17 @@ class SystolicArray:
         events = EventCounts(cycles=cycles)
         # Every DP1M4 issues one MAC slot per cycle of every block.
         slots = tiles * cfg.eff_rows * cfg.eff_cols * k_blocks * steps_per_block
-        fired = 0
-        if nnz_a < bz:
-            # Fired when the weight mask matches the streamed activation.
-            for row in range(m):
-                a_blocks = a_dbb.row_blocks(row)
-                for col in range(n):
-                    for a_block, w_block in zip(a_blocks, w_dbb.row_blocks(col)):
-                        match = a_block.mask & w_block.mask
-                        fired += bin(match).count("1")
-        else:
-            a_nz = (a_pruned != 0).astype(np.int64)
-            w_nz = (w != 0).astype(np.int64)
-            fired = int((a_nz @ w_nz).sum())
+        # Fired when the weight bitmask matches the streamed activation:
+        # summing popcount(a_mask & w_mask) over every (row, col, block)
+        # triple. Bitmask bit i of block b is exactly "element b*BZ+i is
+        # non-zero", so the triple sum separates per reduction index into
+        # one dot product of non-zero counts — no compression needed and
+        # bit-identical with the per-block mask walk (see
+        # repro.core.reference.naive_awdbb_fired). The dense bypass
+        # (nnz_a == BZ) reduces to the same formula.
+        a_nz_cols = np.count_nonzero(a_pruned, axis=0).astype(np.int64)
+        w_nz_rows = np.count_nonzero(w, axis=1).astype(np.int64)
+        fired = int(a_nz_cols @ w_nz_rows)
         events.mac_ops = fired
         events.gated_mac_ops = slots - fired
         events.mux_ops = m * n * k_blocks * steps_per_block

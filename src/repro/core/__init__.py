@@ -15,8 +15,15 @@ from repro.core.dbb import (
     compress_block,
     decompress,
     expand_block,
+    popcount,
 )
-from repro.core.gemm import dbb_gemm, dense_gemm, joint_dbb_gemm
+from repro.core.gemm import (
+    clear_compress_cache,
+    compress_cached,
+    dbb_gemm,
+    dense_gemm,
+    joint_dbb_gemm,
+)
 from repro.core.pruning import (
     PruningSchedule,
     is_dbb_compliant,
@@ -36,8 +43,11 @@ __all__ = [
     "DBBTensor",
     "compress",
     "compress_block",
+    "compress_cached",
+    "clear_compress_cache",
     "decompress",
     "expand_block",
+    "popcount",
     "DAPResult",
     "dap_prune",
     "dap_prune_blocks",

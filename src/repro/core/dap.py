@@ -24,7 +24,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.dbb import DBBSpec
+from repro.core.dbb import DBBSpec, blocked_rows
 from repro.core.pruning import topk_block_mask
 
 __all__ = [
@@ -84,18 +84,11 @@ def dap_prune(
     if not 0 < nnz <= spec.block_size:
         raise ValueError(f"nnz must be in [1, BZ={spec.block_size}], got {nnz}")
     original_shape = activations.shape
-    last = original_shape[-1]
-    pad = (-last) % spec.block_size
-    work = activations.reshape(-1, last)
-    if pad:
-        work = np.concatenate(
-            [work, np.zeros((work.shape[0], pad), dtype=work.dtype)], axis=1
-        )
-    blocks = work.reshape(-1, spec.block_size)
+    blocks, work_shape, last = blocked_rows(activations, spec.block_size)
     mask_blocks = topk_block_mask(blocks, nnz)
     pruned_blocks = np.where(mask_blocks, blocks, np.zeros_like(blocks))
-    pruned = pruned_blocks.reshape(work.shape)[:, :last].reshape(original_shape)
-    keep_mask = mask_blocks.reshape(work.shape)[:, :last].reshape(original_shape)
+    pruned = pruned_blocks.reshape(work_shape)[:, :last].reshape(original_shape)
+    keep_mask = mask_blocks.reshape(work_shape)[:, :last].reshape(original_shape)
     nonzero_before = np.count_nonzero(activations)
     nonzero_after = np.count_nonzero(pruned)
     pruned_fraction = (
@@ -139,7 +132,18 @@ def tune_layer_nnz(
     """
     if not 0.0 < keep_threshold <= 1.0:
         raise ValueError(f"keep_threshold must be in (0, 1], got {keep_threshold}")
+    # Single-pass sweep: Top-k DAP keeps the k largest magnitudes of each
+    # block, so the kept L1 mass at every candidate NNZ is one descending
+    # sort + cumulative sum per block — instead of re-pruning the tensor
+    # once per candidate as the naive loop did.
+    raw_blocks, _, _ = blocked_rows(np.asarray(activations), spec.block_size)
+    blocks = np.abs(raw_blocks.astype(np.float64))
+    total = blocks.sum()
+    if total == 0:
+        return 1  # keep fraction is 1.0 at every NNZ; smallest wins
+    descending = -np.sort(-blocks, axis=1)
+    kept_at_nnz = descending.cumsum(axis=1).sum(axis=0)
     for nnz in range(1, max_nnz + 1):
-        if dap_keep_fraction(activations, spec, nnz) >= keep_threshold:
+        if kept_at_nnz[nnz - 1] / total >= keep_threshold:
             return nnz
     return spec.block_size

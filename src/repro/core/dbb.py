@@ -11,12 +11,41 @@ value slots (Fig. 5), so the compressed value payload always has a fixed
 size — this is what makes the hardware's worst-case workload statically
 known. The paper writes a DBB configuration as the ratio ``NNZ/BZ`` (e.g.
 ``4/8``).
+
+Storage layout (struct-of-arrays backend)
+-----------------------------------------
+:class:`DBBTensor` holds three ndarrays instead of per-block Python objects:
+
+- ``values``    — ``(rows, n_blocks, NNZ)``, the fixed-size value payload.
+  Slot order is the hardware stream order: stored non-zeros in ascending
+  expanded position, then explicit zeros for the unused slots.
+- ``masks``     — ``(rows, n_blocks)`` unsigned ints, the positional
+  bitmasks (bit *i* set when expanded position *i* is non-zero).
+- ``positions`` — ``(rows, n_blocks, NNZ)``, the expanded position each
+  value slot scatters to. Invariant: positions are *distinct within a
+  block*, and every unused slot points at a position whose expanded value
+  is zero — so ``decompress`` is a single collision-free
+  ``put_along_axis`` scatter.
+
+Everything on the hot path (``compress``, ``decompress``, the GEMM kernels
+in :mod:`repro.core.gemm`, the event counting in
+:mod:`repro.arch.systolic`) operates on these arrays with whole-tensor
+NumPy primitives (reshape, stable ``argsort``, ``take_along_axis``), never
+per-block Python loops. Compression/expansion is exact (values are moved,
+never transformed), so every consumer is bit-identical with the retained
+per-block reference implementation in :mod:`repro.core.reference` — this
+equivalence is fuzz-tested.
+
+:class:`DBBBlock` remains as a thin, lazily-materialized per-block view
+(:meth:`DBBTensor.row_blocks` / :attr:`DBBTensor.blocks`) for API
+compatibility and for the unit-level datapath models that consume single
+blocks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,9 +58,37 @@ __all__ = [
     "decompress",
     "expand_block",
     "pad_to_blocks",
+    "blocked_rows",
     "mask_to_positions",
     "positions_to_mask",
+    "popcount",
 ]
+
+# Largest BZ the array backend can bitmask (uint64). The serialized format
+# (repro.core.serialize) has the same 64-element limit.
+MAX_BLOCK_SIZE = 64
+
+#: 256-entry popcount lookup table: NumPy<2 compatible (no np.bitwise_count).
+_POPCOUNT_LUT = np.array([bin(i).count("1") for i in range(256)],
+                         dtype=np.uint8)
+
+
+def popcount(masks: np.ndarray) -> np.ndarray:
+    """Per-element population count of an unsigned integer array.
+
+    Views each element as its constituent bytes and sums a 256-entry
+    lookup table, so it works on any NumPy (no ``np.bitwise_count``
+    dependency) and any unsigned dtype.
+    """
+    masks = np.ascontiguousarray(masks)
+    if masks.dtype.kind != "u":
+        masks = masks.astype(np.uint64)
+    as_bytes = masks.view(np.uint8).reshape(masks.shape + (masks.dtype.itemsize,))
+    return _POPCOUNT_LUT[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def _mask_dtype(block_size: int):
+    return np.uint32 if block_size <= 32 else np.uint64
 
 
 @dataclass(frozen=True)
@@ -166,6 +223,9 @@ class DBBBlock:
 def compress_block(block: Sequence, spec: DBBSpec) -> DBBBlock:
     """Compress one dense ``BZ``-element block into a :class:`DBBBlock`.
 
+    This is the per-block reference path; whole tensors go through the
+    vectorized :func:`compress`.
+
     Raises
     ------
     ValueError
@@ -213,6 +273,67 @@ def pad_to_blocks(vector: np.ndarray, block_size: int) -> np.ndarray:
     return np.concatenate([vector, np.zeros(pad, dtype=vector.dtype)])
 
 
+def blocked_rows(
+    tensor: np.ndarray, block_size: int
+) -> Tuple[np.ndarray, Tuple[int, int], int]:
+    """Block any tensor along its last axis: ``(blocks, work_shape, last)``.
+
+    Flattens all leading axes, zero-pads the last axis to a whole number
+    of blocks, and returns the ``(n_total_blocks, block_size)`` view plus
+    the padded 2-D working shape and the original last-axis length —
+    enough to undo the transform:
+    ``blocks.reshape(work_shape)[:, :last].reshape(original_shape)``.
+    Shared by DAP (software and hardware models) and the DBB codec.
+    """
+    tensor = np.asarray(tensor)
+    last = tensor.shape[-1]
+    pad = (-last) % block_size
+    work = tensor.reshape(-1, last)
+    if pad:
+        work = np.concatenate(
+            [work, np.zeros((work.shape[0], pad), dtype=work.dtype)], axis=1
+        )
+    return work.reshape(-1, block_size), work.shape, last
+
+
+def _compress_arrays(
+    matrix: np.ndarray, spec: DBBSpec
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized core of :func:`compress`: dense 2-D -> (values, masks,
+    positions) arrays. ``matrix`` must already be 2-D."""
+    rows, cols = matrix.shape
+    bz = spec.block_size
+    if bz > MAX_BLOCK_SIZE:
+        raise ValueError(
+            f"block_size {bz} exceeds the {MAX_BLOCK_SIZE}-element limit of "
+            f"the array backend"
+        )
+    n_blocks = -(-cols // bz)
+    padded = np.zeros((rows, n_blocks * bz), dtype=matrix.dtype)
+    padded[:, :cols] = matrix
+    work = padded.reshape(rows, n_blocks, bz)
+    nonzero = work != 0
+    counts = nonzero.sum(axis=-1)
+    if counts.size and int(counts.max()) > spec.max_nnz:
+        r, b = np.unravel_index(int(np.argmax(counts)), counts.shape)
+        raise ValueError(
+            f"block has {int(counts[r, b])} non-zeros, exceeds bound "
+            f"{spec.ratio}; prune first (DAP for activations, magnitude "
+            f"pruning for weights)"
+        )
+    # Stable argsort of the zero-flag puts non-zero positions first in
+    # ascending order, then the zero positions (ascending). The first NNZ
+    # entries are therefore the stream-order scatter targets, all distinct,
+    # with every unused slot aimed at a zero element — the invariant that
+    # makes decompression a collision-free scatter.
+    order = np.argsort(~nonzero, axis=-1, kind="stable")
+    positions = order[..., : spec.max_nnz].astype(np.uint8)
+    values = np.take_along_axis(work, positions, axis=-1)
+    bit_weights = (np.uint64(1) << np.arange(bz, dtype=np.uint64))
+    masks = (nonzero * bit_weights).sum(axis=-1, dtype=np.uint64)
+    return values, masks.astype(_mask_dtype(bz)), positions
+
+
 class DBBTensor:
     """A 2-D tensor compressed in DBB format along its last axis.
 
@@ -225,27 +346,60 @@ class DBBTensor:
     ----------
     spec: the DBB configuration.
     shape: the original (unpadded) dense shape ``(rows, cols)``.
-    blocks: ``blocks[r][b]`` is block *b* of row *r*.
+    values: ``(rows, n_blocks, NNZ)`` fixed-size value payload.
+    masks: ``(rows, n_blocks)`` positional bitmasks.
+    positions: ``(rows, n_blocks, NNZ)`` per-slot scatter targets.
+
+    The arrays are shared, not copied — treat a ``DBBTensor`` as immutable.
+    ``blocks[r][b]`` / :meth:`row_blocks` materialize :class:`DBBBlock`
+    views lazily for per-block consumers.
     """
 
     def __init__(self, spec: DBBSpec, shape: Tuple[int, int],
-                 blocks: List[List[DBBBlock]]):
+                 values=None, masks=None, positions=None, blocks=None):
         self.spec = spec
         self.shape = shape
-        self.blocks = blocks
+        if blocks is None and isinstance(values, list):
+            # Legacy positional call: DBBTensor(spec, shape, blocks).
+            blocks, values = values, None
+        if blocks is not None:
+            values, masks, positions = self._arrays_from_blocks(
+                spec, shape, blocks)
+        if values is None or masks is None or positions is None:
+            raise ValueError(
+                "DBBTensor needs either (values, masks, positions) arrays "
+                "or a blocks list"
+            )
+        self.values = np.asarray(values)
+        self.masks = np.asarray(masks)
+        self.positions = np.asarray(positions)
+        self._blocks_cache: Optional[List[List[DBBBlock]]] = None
+
+    @staticmethod
+    def _arrays_from_blocks(spec: DBBSpec, shape: Tuple[int, int], blocks):
+        """Convert a legacy list-of-lists of :class:`DBBBlock` to arrays."""
+        rows = len(blocks)
+        n_blocks = len(blocks[0]) if rows else 0
+        dense = np.zeros((rows, n_blocks * spec.block_size))
+        for r, row in enumerate(blocks):
+            for b, block in enumerate(row):
+                start = b * spec.block_size
+                dense[r, start:start + spec.block_size] = expand_block(
+                    block, dtype=np.float64)
+        return _compress_arrays(dense, spec)
 
     @property
     def blocks_per_row(self) -> int:
-        return len(self.blocks[0]) if self.blocks else 0
+        return self.masks.shape[1] if self.masks.ndim == 2 else 0
 
     @property
     def num_rows(self) -> int:
-        return len(self.blocks)
+        return self.masks.shape[0]
 
     @property
     def nnz(self) -> int:
         """Total non-zeros stored (from the bitmasks)."""
-        return sum(b.nnz for row in self.blocks for b in row)
+        return int(popcount(self.masks).sum())
 
     @property
     def density(self) -> float:
@@ -262,19 +416,52 @@ class DBBTensor:
         rows, cols = self.shape
         return rows * cols * element_bytes
 
+    def _dense_padded(self, dtype=np.float64) -> np.ndarray:
+        """Expand to the block-padded dense array ``(rows, n_blocks * BZ)``.
+
+        One collision-free scatter: positions are distinct per block and
+        unused slots carry zero values aimed at zero positions.
+        """
+        rows = self.num_rows
+        bz = self.spec.block_size
+        out = np.zeros((rows, self.blocks_per_row, bz), dtype=dtype)
+        if self.values.size:
+            np.put_along_axis(out, self.positions.astype(np.intp),
+                              self.values.astype(dtype), axis=-1)
+        return out.reshape(rows, self.blocks_per_row * bz)
+
     def to_dense(self, dtype=None) -> np.ndarray:
         """Decompress to the original dense array (padding removed)."""
         rows, cols = self.shape
-        bz = self.spec.block_size
-        out = np.zeros((rows, self.blocks_per_row * bz),
-                       dtype=dtype if dtype is not None else np.float64)
-        for r, row in enumerate(self.blocks):
-            for b, block in enumerate(row):
-                out[r, b * bz:(b + 1) * bz] = expand_block(block, dtype=out.dtype)
-        return out[:, :cols]
+        dense = self._dense_padded(
+            dtype=dtype if dtype is not None else np.float64)
+        return dense[:, :cols]
 
     def row_blocks(self, row: int) -> List[DBBBlock]:
-        return self.blocks[row]
+        """Materialize row ``row`` as :class:`DBBBlock` views (lazy)."""
+        if self._blocks_cache is not None:
+            return self._blocks_cache[row]
+        return [
+            DBBBlock(spec=self.spec,
+                     values=tuple(self.values[row, b]),
+                     mask=int(self.masks[row, b]))
+            for b in range(self.blocks_per_row)
+        ]
+
+    @property
+    def blocks(self) -> List[List[DBBBlock]]:
+        """Lazily-materialized (and cached) per-block object view."""
+        if self._blocks_cache is None:
+            cache = []
+            for r in range(self.num_rows):
+                cache.append([
+                    DBBBlock(spec=self.spec,
+                             values=tuple(self.values[r, b]),
+                             mask=int(self.masks[r, b]))
+                    for b in range(self.blocks_per_row)
+                ])
+            self._blocks_cache = cache
+        return self._blocks_cache
 
     def __repr__(self) -> str:
         return (f"DBBTensor(spec={self.spec.ratio}, shape={self.shape}, "
@@ -286,24 +473,18 @@ def compress(matrix: np.ndarray, spec: DBBSpec) -> DBBTensor:
 
     The array must already satisfy the density bound per block; 1-D input is
     treated as a single row. Rows are zero-padded to a whole number of
-    blocks (padding never violates the bound).
+    blocks (padding never violates the bound). Fully vectorized — no
+    per-block Python objects are created; :class:`DBBBlock` views
+    materialize lazily on access.
     """
     matrix = np.asarray(matrix)
     if matrix.ndim == 1:
         matrix = matrix[None, :]
     if matrix.ndim != 2:
         raise ValueError(f"expected 1-D or 2-D input, got shape {matrix.shape}")
-    rows, cols = matrix.shape
-    bz = spec.block_size
-    blocks: List[List[DBBBlock]] = []
-    for r in range(rows):
-        padded = pad_to_blocks(matrix[r], bz)
-        row_blocks = [
-            compress_block(padded[b * bz:(b + 1) * bz], spec)
-            for b in range(padded.shape[0] // bz)
-        ]
-        blocks.append(row_blocks)
-    return DBBTensor(spec=spec, shape=(rows, cols), blocks=blocks)
+    values, masks, positions = _compress_arrays(matrix, spec)
+    return DBBTensor(spec=spec, shape=matrix.shape,
+                     values=values, masks=masks, positions=positions)
 
 
 def decompress(tensor: DBBTensor, dtype=None) -> np.ndarray:

@@ -13,10 +13,24 @@ Orientation convention (matches ``repro.nn.im2col`` lowering):
   are compressed row-wise and weights column-wise; :class:`DBBTensor`
   stores blocks along the *last* axis, so the weight operand is compressed
   from ``W.T`` (shape ``(N, K)``).
+
+Execution strategy (array backend)
+----------------------------------
+Both sparse kernels run as *scatter-to-dense + one wide matmul*: the
+compressed operand expands through :class:`DBBTensor`'s collision-free
+scatter (exact — values are moved, never transformed) and the product is a
+single ``@`` in the accumulation dtype. Because integer addition is
+associative and expansion is exact, the results are bit-identical with the
+per-block walk the hardware performs (retained in
+:mod:`repro.core.reference` and fuzz-tested against). This is what lets
+full-model layers (AlexNet conv2 is M=3025, K=1200, N=256) run at NumPy
+speed instead of hours of Python block loops.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import Tuple
 
 import numpy as np
@@ -28,6 +42,8 @@ __all__ = [
     "dbb_gemm",
     "joint_dbb_gemm",
     "compress_operands",
+    "compress_cached",
+    "clear_compress_cache",
     "gemm_mac_count",
 ]
 
@@ -58,29 +74,70 @@ def compress_operands(
     return a_dbb, w_dbb
 
 
+# --------------------------------------------------------------------- #
+# Compressed-operand memo
+# --------------------------------------------------------------------- #
+
+_COMPRESS_CACHE: "OrderedDict[tuple, DBBTensor]" = OrderedDict()
+_COMPRESS_CACHE_MAX = 64
+
+
+def compress_cached(matrix: np.ndarray, spec: DBBSpec) -> DBBTensor:
+    """:func:`repro.core.dbb.compress` with a content-addressed LRU memo.
+
+    Variant sweeps (DENSE/ZVCG/WDBB/AWDBB) and per-layer density sweeps
+    re-run the same weight tensor through every mode and every ``a_nnz``
+    point; the weights only need compressing once. The key hashes the
+    array bytes plus shape/dtype/spec, so any numerically distinct operand
+    gets its own entry. The returned tensor's arrays are shared — treat it
+    as immutable (every library consumer does).
+    """
+    matrix = np.ascontiguousarray(matrix)
+    key = (spec, matrix.shape, matrix.dtype.str,
+           hashlib.sha1(matrix.tobytes()).hexdigest())
+    hit = _COMPRESS_CACHE.get(key)
+    if hit is not None:
+        _COMPRESS_CACHE.move_to_end(key)
+        return hit
+    tensor = compress(matrix, spec)
+    _COMPRESS_CACHE[key] = tensor
+    while len(_COMPRESS_CACHE) > _COMPRESS_CACHE_MAX:
+        _COMPRESS_CACHE.popitem(last=False)
+    return tensor
+
+
+def clear_compress_cache() -> None:
+    """Drop all memoized compressed operands (mainly for tests/benchmarks)."""
+    _COMPRESS_CACHE.clear()
+
+
+# --------------------------------------------------------------------- #
+# Sparse kernels
+# --------------------------------------------------------------------- #
+
 def dbb_gemm(a: np.ndarray, w_dbb: DBBTensor, accumulate_dtype=np.int64) -> np.ndarray:
     """GEMM with dense activations and DBB-compressed weights (S2TA-W mode).
 
-    Walks compressed weight blocks the way the DP4M8 datapath does: for
-    each stored non-zero weight, the positional bitmask steers the matching
-    activation element into the MAC (the 8:1 mux of Fig. 6c). Never touches
-    pruned weight positions.
+    Functionally models the DP4M8 datapath: only stored weight non-zeros
+    contribute, steered to the matching activation element by the
+    positional bitmask (the 8:1 mux of Fig. 6c). Executed as an exact
+    scatter of the compressed weights to dense ``(N, K)`` followed by one
+    wide matmul — bit-identical with the per-block walk for integer
+    accumulation dtypes.
     """
     a = np.asarray(a)
     m, k = a.shape
-    n = w_dbb.num_rows
-    bz = w_dbb.spec.block_size
-    out = np.zeros((m, n), dtype=accumulate_dtype)
-    a_wide = a.astype(accumulate_dtype)
-    for col in range(n):
-        for b, block in enumerate(w_dbb.row_blocks(col)):
-            base = b * bz
-            for pos, val in block.nonzero_pairs():
-                idx = base + pos
-                if idx >= k:
-                    continue  # zero padding of the last block
-                out[:, col] += a_wide[:, idx] * accumulate_dtype(val)
-    return out
+    # Expand over the block-padded width, then crop/zero-extend to K: the
+    # hardware skips stored positions beyond K (zero padding of the last
+    # block), which the crop reproduces exactly.
+    w_padded = w_dbb._dense_padded(dtype=accumulate_dtype)  # (N, Kb*BZ)
+    n, k_padded = w_padded.shape
+    if k_padded >= k:
+        w_k = w_padded[:, :k]
+    else:
+        w_k = np.zeros((n, k), dtype=w_padded.dtype)
+        w_k[:, :k_padded] = w_padded
+    return a.astype(accumulate_dtype) @ w_k.T
 
 
 def joint_dbb_gemm(
@@ -88,11 +145,12 @@ def joint_dbb_gemm(
 ) -> np.ndarray:
     """GEMM with both operands DBB-compressed (S2TA-AW mode).
 
-    Models the time-unrolled DP1M4 stream (Fig. 6e): activation non-zeros
-    of each block are serialized; per element, a MAC fires only when the
-    weight bitmask has a matching non-zero at the same expanded position
-    (otherwise the cycle is clock-gated — the product would be zero).
-    Bit-exact with the dense product of the decompressed operands.
+    Functionally models the time-unrolled DP1M4 stream (Fig. 6e): a MAC
+    fires only where the activation and weight bitmasks intersect. Since
+    both expansions are exact and the expanded operands are zero exactly
+    where the bitmasks are unset, the dense product of the two expansions
+    is bit-identical with the mask-intersection walk (retained in
+    :mod:`repro.core.reference`).
     """
     if a_dbb.spec.block_size != w_dbb.spec.block_size:
         raise ValueError(
@@ -104,31 +162,9 @@ def joint_dbb_gemm(
             f"reduction lengths differ: A has {a_dbb.blocks_per_row} blocks, "
             f"W has {w_dbb.blocks_per_row}"
         )
-    m = a_dbb.num_rows
-    n = w_dbb.num_rows
-    out = np.zeros((m, n), dtype=accumulate_dtype)
-    for row in range(m):
-        a_blocks = a_dbb.row_blocks(row)
-        for col in range(n):
-            w_blocks = w_dbb.row_blocks(col)
-            acc = accumulate_dtype(0)
-            for a_block, w_block in zip(a_blocks, w_blocks):
-                match = a_block.mask & w_block.mask
-                if not match:
-                    continue
-                a_vals = dict(a_block.nonzero_pairs())
-                w_vals = dict(w_block.nonzero_pairs())
-                pos = 0
-                mask = match
-                while mask:
-                    if mask & 1:
-                        acc += accumulate_dtype(a_vals[pos]) * accumulate_dtype(
-                            w_vals[pos]
-                        )
-                    mask >>= 1
-                    pos += 1
-            out[row, col] = acc
-    return out
+    a_dense = a_dbb._dense_padded(dtype=accumulate_dtype)  # (M, Kb*BZ)
+    w_dense = w_dbb._dense_padded(dtype=accumulate_dtype)  # (N, Kb*BZ)
+    return a_dense @ w_dense.T
 
 
 def gemm_mac_count(m: int, k: int, n: int) -> int:

@@ -1,0 +1,149 @@
+"""Naive per-block reference implementations (the pre-vectorization seed).
+
+The array-backed :class:`~repro.core.dbb.DBBTensor` and the vectorized
+kernels in :mod:`repro.core.gemm` / :mod:`repro.arch.systolic` promise
+bit-identical results with the straightforward per-block Python walk a
+hardware engineer would write from Fig. 5/6 of the paper. This module
+*keeps* that walk: every function here loops block by block through the
+lazily-materialized :class:`~repro.core.dbb.DBBBlock` views, exactly as
+the original implementation did.
+
+These are ground truth for the bit-exactness fuzz suite
+(``tests/core/test_reference_fuzz.py``) — never call them on large
+tensors; they are O(M*N*K) Python loops on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.dbb import DBBBlock, DBBSpec, DBBTensor, compress_block, \
+    expand_block, pad_to_blocks
+
+__all__ = [
+    "naive_compress_blocks",
+    "naive_decompress",
+    "naive_dbb_gemm",
+    "naive_joint_dbb_gemm",
+    "naive_wdbb_fired",
+    "naive_awdbb_fired",
+]
+
+
+def naive_compress_blocks(matrix: np.ndarray,
+                          spec: DBBSpec) -> List[List[DBBBlock]]:
+    """Per-block compression (the original object-per-block path)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    bz = spec.block_size
+    blocks: List[List[DBBBlock]] = []
+    for r in range(matrix.shape[0]):
+        padded = pad_to_blocks(matrix[r], bz)
+        blocks.append([
+            compress_block(padded[b * bz:(b + 1) * bz], spec)
+            for b in range(padded.shape[0] // bz)
+        ])
+    return blocks
+
+
+def naive_decompress(blocks: List[List[DBBBlock]], cols: int,
+                     dtype=np.float64) -> np.ndarray:
+    """Per-block expansion of a list-of-lists of :class:`DBBBlock`."""
+    rows = len(blocks)
+    blocks_per_row = len(blocks[0]) if rows else 0
+    if not blocks_per_row:
+        return np.zeros((rows, cols), dtype=dtype)
+    bz = blocks[0][0].spec.block_size
+    out = np.zeros((rows, blocks_per_row * bz), dtype=dtype)
+    for r, row in enumerate(blocks):
+        for b, block in enumerate(row):
+            out[r, b * bz:(b + 1) * bz] = expand_block(block, dtype=dtype)
+    return out[:, :cols]
+
+
+def naive_dbb_gemm(a: np.ndarray, w_dbb: DBBTensor,
+                   accumulate_dtype=np.int64) -> np.ndarray:
+    """Per-block walk of the DP4M8 weight stream (S2TA-W mode)."""
+    a = np.asarray(a)
+    m, k = a.shape
+    n = w_dbb.num_rows
+    bz = w_dbb.spec.block_size
+    out = np.zeros((m, n), dtype=accumulate_dtype)
+    a_wide = a.astype(accumulate_dtype)
+    for col in range(n):
+        for b, block in enumerate(w_dbb.row_blocks(col)):
+            base = b * bz
+            for pos, val in block.nonzero_pairs():
+                idx = base + pos
+                if idx >= k:
+                    continue  # zero padding of the last block
+                out[:, col] += a_wide[:, idx] * accumulate_dtype(val)
+    return out
+
+
+def naive_joint_dbb_gemm(
+    a_dbb: DBBTensor, w_dbb: DBBTensor, accumulate_dtype=np.int64
+) -> np.ndarray:
+    """Per-block mask-intersection walk of the DP1M4 stream (S2TA-AW)."""
+    if a_dbb.spec.block_size != w_dbb.spec.block_size:
+        raise ValueError("operand block sizes differ")
+    if a_dbb.blocks_per_row != w_dbb.blocks_per_row:
+        raise ValueError("reduction lengths differ")
+    m = a_dbb.num_rows
+    n = w_dbb.num_rows
+    out = np.zeros((m, n), dtype=accumulate_dtype)
+    for row in range(m):
+        a_blocks = a_dbb.row_blocks(row)
+        for col in range(n):
+            w_blocks = w_dbb.row_blocks(col)
+            acc = accumulate_dtype(0)
+            for a_block, w_block in zip(a_blocks, w_blocks):
+                match = a_block.mask & w_block.mask
+                if not match:
+                    continue
+                a_vals = dict(a_block.nonzero_pairs())
+                w_vals = dict(w_block.nonzero_pairs())
+                pos = 0
+                mask = match
+                while mask:
+                    if mask & 1:
+                        acc += accumulate_dtype(a_vals[pos]) * accumulate_dtype(
+                            w_vals[pos]
+                        )
+                    mask >>= 1
+                    pos += 1
+            out[row, col] = acc
+    return out
+
+
+def naive_wdbb_fired(a: np.ndarray, w_dbb: DBBTensor) -> int:
+    """Fired-MAC count of the W-DBB array: per stored non-zero weight,
+    one MAC per non-zero activation at the matching reduction index."""
+    a = np.asarray(a)
+    k = a.shape[1]
+    bz = w_dbb.spec.block_size
+    a_nz_cols = (a != 0).sum(axis=0)
+    fired = 0
+    for col in range(w_dbb.num_rows):
+        for b, block in enumerate(w_dbb.row_blocks(col)):
+            for pos, val in block.nonzero_pairs():
+                idx = b * bz + pos
+                if idx < k and val != 0:
+                    fired += int(a_nz_cols[idx])
+    return fired
+
+
+def naive_awdbb_fired(a_dbb: DBBTensor, w_dbb: DBBTensor) -> int:
+    """Fired-MAC count of the time-unrolled array: popcount of the
+    activation/weight bitmask intersection over every (row, col, block)."""
+    fired = 0
+    for row in range(a_dbb.num_rows):
+        a_blocks = a_dbb.row_blocks(row)
+        for col in range(w_dbb.num_rows):
+            for a_block, w_block in zip(a_blocks, w_dbb.row_blocks(col)):
+                match = a_block.mask & w_block.mask
+                fired += bin(match).count("1")
+    return fired

@@ -10,6 +10,11 @@ Stream layout::
 
     header: BZ (1 byte) | NNZ (1 byte) | rows (4) | cols (4)
     body:   row-major blocks of [values x NNZ][mask x ceil(BZ/8)]
+
+Both directions are vectorized over the whole tensor: ``pack`` writes the
+struct-of-arrays payload (``values``/``masks``) straight into the byte
+matrix, and ``unpack`` reconstructs the arrays — including the per-slot
+scatter ``positions`` — without materializing any per-block objects.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import struct
 
 import numpy as np
 
-from repro.core.dbb import DBBBlock, DBBSpec, DBBTensor
+from repro.core.dbb import DBBSpec, DBBTensor, popcount, _mask_dtype
 
 __all__ = ["pack", "unpack", "packed_size_bytes"]
 
@@ -42,14 +47,18 @@ def pack(tensor: DBBTensor) -> bytes:
         raise ValueError(f"block_size {spec.block_size} exceeds the "
                          f"64-element format limit")
     mask_bytes = (spec.block_size + 7) // 8
-    out = bytearray(_HEADER.pack(spec.block_size, spec.max_nnz,
-                                 tensor.shape[0], tensor.shape[1]))
-    for row in tensor.blocks:
-        for block in row:
-            values = np.asarray(block.values, dtype=np.int8)
-            out += values.tobytes()
-            out += int(block.mask).to_bytes(mask_bytes, "little")
-    return bytes(out)
+    header = _HEADER.pack(spec.block_size, spec.max_nnz,
+                          tensor.shape[0], tensor.shape[1])
+    rows, n_blocks = tensor.masks.shape
+    body = np.empty((rows, n_blocks, spec.max_nnz + mask_bytes),
+                    dtype=np.uint8)
+    body[..., :spec.max_nnz] = tensor.values.astype(np.int8).view(np.uint8)
+    masks = tensor.masks.astype(np.uint64)
+    for i in range(mask_bytes):
+        body[..., spec.max_nnz + i] = (
+            (masks >> np.uint64(8 * i)) & np.uint64(0xFF)
+        ).astype(np.uint8)
+    return header + body.tobytes()
 
 
 def unpack(data: bytes) -> DBBTensor:
@@ -67,17 +76,31 @@ def unpack(data: bytes) -> DBBTensor:
     mask_bytes = (bz + 7) // 8
     block_bytes = nnz + mask_bytes
     blocks_per_row = -(-cols // bz)
-    offset = _HEADER.size
-    all_rows = []
-    for _r in range(rows):
-        row_blocks = []
-        for _b in range(blocks_per_row):
-            values = np.frombuffer(
-                data, dtype=np.int8, count=nnz, offset=offset)
-            mask = int.from_bytes(
-                data[offset + nnz:offset + block_bytes], "little")
-            row_blocks.append(
-                DBBBlock(spec=spec, values=tuple(values.tolist()), mask=mask))
-            offset += block_bytes
-        all_rows.append(row_blocks)
-    return DBBTensor(spec=spec, shape=(rows, cols), blocks=all_rows)
+    raw = np.frombuffer(data, dtype=np.uint8, offset=_HEADER.size)
+    body = raw.reshape(rows, blocks_per_row, block_bytes)
+    values = body[..., :nnz].copy().view(np.int8)
+    masks = np.zeros((rows, blocks_per_row), dtype=np.uint64)
+    for i in range(mask_bytes):
+        masks |= body[..., nnz + i].astype(np.uint64) << np.uint64(8 * i)
+    if bz < 64 and masks.size and int(masks.max()) >> bz:
+        raise ValueError(f"mask out of range for BZ={bz}")
+    stored_nnz = popcount(masks)
+    if stored_nnz.size and int(stored_nnz.max()) > nnz:
+        raise ValueError(
+            f"mask encodes more than the density bound {spec.ratio}"
+        )
+    # Stream slots beyond a block's non-zero count are format padding;
+    # force them to zero so the scatter invariant holds even for byte
+    # streams produced elsewhere.
+    slot = np.arange(nnz)
+    values[slot[None, None, :] >= stored_nnz[..., None]] = 0
+    # Rebuild the scatter targets: set-bit positions first (ascending,
+    # matching the stream's value order), unused slots at clear-bit
+    # positions — all distinct, so decompression stays collision-free.
+    bits = ((masks[..., None] >> np.arange(bz, dtype=np.uint64))
+            & np.uint64(1)).astype(bool)
+    order = np.argsort(~bits, axis=-1, kind="stable")
+    positions = order[..., :nnz].astype(np.uint8)
+    return DBBTensor(spec=spec, shape=(rows, cols), values=values,
+                     masks=masks.astype(_mask_dtype(bz)),
+                     positions=positions)

@@ -12,6 +12,7 @@ from repro.eval.ablations import (
     ablation_unroll_axis,
 )
 from repro.eval.experiments import (
+    functional_operands,
     fig1_energy_breakdown,
     fig3_smt_overhead,
     fig9_microbench,
@@ -30,6 +31,7 @@ from repro.eval.tables import ExperimentResult, format_table
 __all__ = [
     "ExperimentResult",
     "format_table",
+    "functional_operands",
     "fig1_energy_breakdown",
     "fig3_smt_overhead",
     "fig9_microbench",

@@ -10,7 +10,8 @@ shape — orderings, ratios and crossovers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from repro.workloads.microbench import SWEEP_SPARSITIES
 from repro.workloads.typical import typical_conv_layer
 
 __all__ = [
+    "functional_operands",
     "fig1_energy_breakdown",
     "fig3_smt_overhead",
     "fig9_microbench",
@@ -46,6 +48,33 @@ __all__ = [
 ]
 
 FULL_MODELS = ("resnet50", "vgg16", "mobilenet_v1", "alexnet")
+
+
+@lru_cache(maxsize=32)
+def functional_operands(
+    m: int, k: int, n: int,
+    w_nnz: int = 4,
+    a_density: float = 0.5,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Memoized concrete INT8 operands for one functional sweep point.
+
+    The DENSE/ZVCG/WDBB/AWDBB variant sweeps (and the per-layer ``a_nnz``
+    density sweep inside AWDBB) all drive the *same* workload through the
+    functional simulator; this memo materializes each workload's operands
+    once, and — because the simulator compresses weights through
+    :func:`repro.core.gemm.compress_cached` — each weight tensor is also
+    *compressed* once for the entire sweep instead of per mode and per
+    density point. Returned arrays are shared: treat them as read-only.
+    """
+    from repro.workloads.microbench import microbench_operands, sweep_layer
+
+    w_sparsity = 1.0 - (w_nnz / 8.0)
+    layer = sweep_layer(w_sparsity, 1.0 - a_density, m=m, k=k, n=n)
+    a, w = microbench_operands(layer, rng=np.random.default_rng(seed))
+    a.setflags(write=False)
+    w.setflags(write=False)
+    return a, w
 
 
 def _sa_variants(tech: str = "16nm") -> Dict[str, AcceleratorModel]:

@@ -1,0 +1,255 @@
+"""Bit-exactness fuzz: vectorized array backend vs the naive reference.
+
+The struct-of-arrays :class:`DBBTensor` and every vectorized consumer
+(``compress``/``decompress``, both sparse GEMMs, the systolic simulator's
+event counting) must be bit-identical with the retained per-block
+reference in :mod:`repro.core.reference` — including the awkward corners:
+K not divisible by BZ (padded last blocks), NNZ == BZ dense bypass, and
+all-zero operands.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.events import EventCounts
+from repro.arch.systolic import Mode, SystolicArray, SystolicConfig
+from repro.core.dap import dap_prune
+from repro.core.dbb import DBBSpec, compress, decompress
+from repro.core.gemm import (
+    compress_operands,
+    dbb_gemm,
+    dense_gemm,
+    joint_dbb_gemm,
+)
+from repro.core.pruning import prune_weights_dbb
+from repro.core.reference import (
+    naive_awdbb_fired,
+    naive_compress_blocks,
+    naive_dbb_gemm,
+    naive_decompress,
+    naive_joint_dbb_gemm,
+    naive_wdbb_fired,
+)
+from repro.core.sparsity import random_unstructured
+
+
+def _operands(seed, m, k, n, bz, w_nnz, a_nnz, a_density):
+    """Random (A, W) with W strictly w_nnz/bz compliant and A DAP-pruned."""
+    rng = np.random.default_rng(seed)
+    w_spec = DBBSpec(bz, w_nnz)
+    a_spec = DBBSpec(bz, a_nnz)
+    a = random_unstructured((m, k), a_density, rng=rng)
+    a = dap_prune(a, a_spec).pruned
+    w = random_unstructured((k, n), 0.9, rng=rng)
+    pad = (-k) % bz
+    wt = np.concatenate([w.T, np.zeros((n, pad), dtype=w.dtype)], axis=1)
+    w = prune_weights_dbb(wt, w_spec)[:, :k].T
+    return a, w, a_spec, w_spec
+
+
+_shapes = st.tuples(
+    st.integers(0, 10_000),   # seed
+    st.integers(1, 5),        # m
+    st.integers(1, 37),       # k — deliberately not BZ-aligned
+    st.integers(1, 5),        # n
+    st.sampled_from([4, 8]),  # bz
+)
+
+
+class TestCompressEquivalence:
+    @given(_shapes, st.integers(1, 8), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_view_matches_naive(self, shape, nnz_seed, density):
+        seed, m, k, _n, bz = shape
+        nnz = min(nnz_seed, bz)
+        spec = DBBSpec(bz, nnz)
+        rng = np.random.default_rng(seed)
+        x = random_unstructured((m, k), density, rng=rng)
+        x = dap_prune(x, spec).pruned
+        tensor = compress(x, spec)
+        reference = naive_compress_blocks(x, spec)
+        assert tensor.num_rows == len(reference)
+        assert tensor.blocks_per_row == len(reference[0])
+        for r in range(tensor.num_rows):
+            for got, want in zip(tensor.row_blocks(r), reference[r]):
+                assert got.mask == want.mask
+                assert [int(v) for v in got.values] == \
+                    [int(v) for v in want.values]
+        np.testing.assert_array_equal(
+            decompress(tensor, dtype=np.int64),
+            naive_decompress(reference, k, dtype=np.int64),
+        )
+        np.testing.assert_array_equal(decompress(tensor, dtype=np.int8), x)
+
+    def test_all_zero_blocks(self):
+        spec = DBBSpec(8, 3)
+        tensor = compress(np.zeros((3, 20), dtype=np.int8), spec)
+        assert tensor.nnz == 0
+        np.testing.assert_array_equal(
+            decompress(tensor, dtype=np.int8), np.zeros((3, 20)))
+
+    def test_overfull_block_rejected_like_naive(self):
+        spec = DBBSpec(8, 2)
+        x = np.zeros((2, 16), dtype=np.int8)
+        x[1, 8:11] = 1
+        with pytest.raises(ValueError, match="exceeds bound"):
+            compress(x, spec)
+        with pytest.raises(ValueError, match="exceeds bound"):
+            naive_compress_blocks(x, spec)
+
+
+class TestGemmEquivalence:
+    @given(_shapes, st.integers(1, 8), st.integers(1, 8),
+           st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_both_kernels_match_naive(self, shape, w_nnz_seed, a_nnz_seed,
+                                      a_density):
+        seed, m, k, n, bz = shape
+        w_nnz = min(w_nnz_seed, bz)
+        a_nnz = min(a_nnz_seed, bz)
+        a, w, a_spec, w_spec = _operands(
+            seed, m, k, n, bz, w_nnz, a_nnz, a_density)
+        a_dbb, w_dbb = compress_operands(a, w, a_spec, w_spec)
+        np.testing.assert_array_equal(
+            dbb_gemm(a, w_dbb), naive_dbb_gemm(a, w_dbb))
+        np.testing.assert_array_equal(
+            joint_dbb_gemm(a_dbb, w_dbb),
+            naive_joint_dbb_gemm(a_dbb, w_dbb))
+        np.testing.assert_array_equal(dbb_gemm(a, w_dbb), dense_gemm(a, w))
+        np.testing.assert_array_equal(
+            joint_dbb_gemm(a_dbb, w_dbb), dense_gemm(a, w))
+
+
+def _reference_wdbb_result(config: SystolicConfig, a, w):
+    """The seed implementation of ``_run_wdbb``, event for event."""
+    spec = config.w_spec
+    m, k = a.shape
+    n = w.shape[1]
+    bz = spec.block_size
+    k_blocks = math.ceil(k / bz)
+    tiles_m = math.ceil(m / config.eff_rows)
+    tiles_n = math.ceil(n / config.eff_cols)
+    tiles = tiles_m * tiles_n
+    skew = config.rows + config.cols - 2
+    cycles = tiles * (k_blocks + skew)
+    w_dbb = compress(w.T, spec)
+    events = EventCounts(cycles=cycles)
+    slots = tiles * config.eff_rows * config.eff_cols * k_blocks * spec.max_nnz
+    fired = naive_wdbb_fired(a, w_dbb)
+    events.mac_ops = fired
+    events.gated_mac_ops = slots - fired
+    events.mux_ops = n * k_blocks * spec.max_nnz * m
+    a_hops_bytes = tiles_n * config.cols * m * k
+    w_hops_bytes = (tiles_m * config.rows * n * k_blocks
+                    * (spec.max_nnz + int(spec.mask_bytes())))
+    events.operand_reg_ops = (a_hops_bytes // config.tpe_c
+                              + w_hops_bytes // config.tpe_a)
+    events.acc_reg_ops = m * n * k_blocks
+    w_bytes_per_pass = n * k_blocks * math.ceil(spec.compressed_block_bytes(1))
+    events.sram_a_read_bytes += m * k * tiles_n
+    events.sram_w_read_bytes += w_bytes_per_pass * tiles_m
+    events.sram_a_write_bytes += m * n
+    events.mcu_elementwise_ops += m * n
+    return naive_dbb_gemm(a, w_dbb), cycles, events
+
+
+def _reference_awdbb_result(config: SystolicConfig, a, w, a_nnz):
+    """The seed implementation of ``_run_awdbb``, event for event."""
+    w_spec = config.w_spec
+    a_spec = config.a_spec
+    nnz_a = a_spec.max_nnz if a_nnz is None else a_nnz
+    m, k = a.shape
+    n = w.shape[1]
+    bz = a_spec.block_size
+    k_blocks = math.ceil(k / bz)
+    if nnz_a < bz:
+        a_pruned = dap_prune(a, a_spec, nnz=nnz_a).pruned
+    else:
+        a_pruned = a
+    a_dbb = compress(a_pruned, a_spec.with_nnz(min(nnz_a, bz)))
+    w_dbb = compress(w.T, w_spec)
+    tiles_m = math.ceil(m / config.eff_rows)
+    tiles_n = math.ceil(n / config.eff_cols)
+    tiles = tiles_m * tiles_n
+    skew = config.rows + config.cols - 2
+    steps_per_block = nnz_a if nnz_a < bz else bz
+    cycles = tiles * (k_blocks + skew) * steps_per_block
+    events = EventCounts(cycles=cycles)
+    slots = (tiles * config.eff_rows * config.eff_cols
+             * k_blocks * steps_per_block)
+    if nnz_a < bz:
+        fired = naive_awdbb_fired(a_dbb, w_dbb)
+    else:
+        a_nz = (a_pruned != 0).astype(np.int64)
+        w_nz = (w != 0).astype(np.int64)
+        fired = int((a_nz @ w_nz).sum())
+    events.mac_ops = fired
+    events.gated_mac_ops = slots - fired
+    events.mux_ops = m * n * k_blocks * steps_per_block
+    a_block_bytes = steps_per_block + int(a_spec.mask_bytes())
+    w_block_bytes = w_spec.max_nnz + int(w_spec.mask_bytes())
+    a_hops_bytes = tiles_n * config.cols * m * k_blocks * a_block_bytes
+    w_hops_bytes = tiles_m * config.rows * n * k_blocks * w_block_bytes
+    events.operand_reg_ops = (a_hops_bytes // config.tpe_c
+                              + w_hops_bytes // config.tpe_a)
+    events.acc_reg_ops = m * n * k_blocks * steps_per_block
+    if nnz_a < bz:
+        events.dap_compare_ops = m * k_blocks * (bz - 1) * nnz_a
+    events.sram_a_read_bytes += m * k_blocks * a_block_bytes * tiles_n
+    events.sram_w_read_bytes += n * k_blocks * w_block_bytes * tiles_m
+    events.sram_a_write_bytes += m * n
+    events.mcu_elementwise_ops += m * n
+    return dense_gemm(a_pruned, w), cycles, events
+
+
+class TestRunGemmEquivalence:
+    """Vectorized SystolicArray vs a frozen copy of the seed event model."""
+
+    @given(st.integers(0, 5_000), st.integers(1, 6), st.integers(1, 33),
+           st.integers(1, 6), st.integers(1, 4), st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_wdbb(self, seed, m, k, n, w_nnz, a_density):
+        a, w, _a_spec, w_spec = _operands(
+            seed, m, k, n, 8, w_nnz, 8, a_density)
+        config = SystolicConfig(rows=2, cols=2, mode=Mode.WDBB,
+                                w_spec=w_spec, tpe_a=2, tpe_c=2)
+        result = SystolicArray(config).run_gemm(a, w)
+        ref_out, ref_cycles, ref_events = _reference_wdbb_result(config, a, w)
+        np.testing.assert_array_equal(result.output, ref_out)
+        assert result.cycles == ref_cycles
+        assert result.events == ref_events
+
+    @given(st.integers(0, 5_000), st.integers(1, 6), st.integers(1, 33),
+           st.integers(1, 6), st.integers(1, 4), st.integers(1, 8),
+           st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_awdbb(self, seed, m, k, n, w_nnz, a_nnz, a_density):
+        # a_nnz == 8 exercises the dense-bypass branch.
+        a, w, _a_spec, w_spec = _operands(
+            seed, m, k, n, 8, w_nnz, 8, a_density)
+        config = SystolicConfig(rows=2, cols=2, mode=Mode.AWDBB,
+                                w_spec=w_spec, a_spec=DBBSpec(8, 4),
+                                tpe_a=2, tpe_c=2)
+        result = SystolicArray(config).run_gemm(a, w, a_nnz=a_nnz)
+        ref_out, ref_cycles, ref_events = _reference_awdbb_result(
+            config, a, w, a_nnz)
+        np.testing.assert_array_equal(result.output, ref_out)
+        assert result.cycles == ref_cycles
+        assert result.events == ref_events
+
+    def test_all_zero_operands(self):
+        a = np.zeros((4, 24), dtype=np.int8)
+        w = np.zeros((24, 4), dtype=np.int8)
+        config = SystolicConfig(rows=2, cols=2, mode=Mode.AWDBB,
+                                tpe_a=2, tpe_c=2)
+        result = SystolicArray(config).run_gemm(a, w, a_nnz=2)
+        assert result.events.mac_ops == 0
+        np.testing.assert_array_equal(result.output, np.zeros((4, 4)))
+        _ref_out, ref_cycles, ref_events = _reference_awdbb_result(
+            config, a, w, 2)
+        assert result.cycles == ref_cycles
+        assert result.events == ref_events

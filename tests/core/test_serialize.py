@@ -73,3 +73,67 @@ class TestPackUnpack:
         recovered = unpack(pack(tensor))
         np.testing.assert_array_equal(
             decompress(recovered, dtype=np.int8), dense)
+
+
+class TestArrayBackendRoundTrip:
+    """Round-trip corners of the struct-of-arrays backend: padded last
+    blocks (cols not a multiple of BZ) and sub-NNZ (underfull) blocks."""
+
+    def test_padded_last_block_roundtrip(self):
+        # 21 cols at BZ=8: the last block holds 5 real + 3 padded lanes.
+        spec = DBBSpec(8, 4)
+        dense = np.zeros((3, 21), dtype=np.int8)
+        dense[0, 18] = -7   # non-zero inside the padded last block
+        dense[1, 20] = 5    # non-zero at the final real column
+        dense[2, 0] = 1
+        tensor = compress(dense, spec)
+        recovered = unpack(pack(tensor))
+        assert recovered.shape == (3, 21)
+        assert recovered.blocks_per_row == 3
+        np.testing.assert_array_equal(
+            decompress(recovered, dtype=np.int8), dense)
+        np.testing.assert_array_equal(recovered.masks, tensor.masks)
+        np.testing.assert_array_equal(recovered.values, tensor.values)
+
+    def test_sub_nnz_blocks_roundtrip(self):
+        # Every block underfull (0..2 non-zeros under a 4/8 bound): the
+        # stream's explicit zero slots must come back as zero-valued slots
+        # aimed at zero positions, keeping the scatter collision-free.
+        spec = DBBSpec(8, 4)
+        dense = np.zeros((2, 24), dtype=np.int8)
+        dense[0, 1] = 3
+        dense[0, 9] = -2
+        dense[0, 15] = 4
+        dense[1, 17] = 127
+        tensor = compress(dense, spec)
+        recovered = unpack(pack(tensor))
+        np.testing.assert_array_equal(
+            decompress(recovered, dtype=np.int8), dense)
+        assert recovered.nnz == 4
+        # Unused slots carry explicit zeros (fixed worst-case payload).
+        from repro.core.dbb import popcount
+
+        stored = popcount(recovered.masks)
+        slot = np.arange(spec.max_nnz)
+        unused = slot[None, None, :] >= stored[..., None]
+        assert np.all(recovered.values[unused] == 0)
+
+    def test_sub_nnz_padded_combined_property(self):
+        rng = np.random.default_rng(11)
+        spec = DBBSpec(8, 3)
+        for cols in (1, 7, 9, 19, 27):
+            dense = random_dbb_tensor((4, 32), spec, rng=rng,
+                                      nnz=2)[:, :cols]
+            tensor = compress(dense, spec)
+            recovered = unpack(pack(tensor))
+            assert recovered.shape == (4, cols)
+            np.testing.assert_array_equal(
+                decompress(recovered, dtype=np.int8), dense)
+
+    def test_corrupt_mask_over_bound_rejected(self):
+        spec = DBBSpec(8, 2)
+        tensor = compress(np.zeros((1, 8), dtype=np.int8), spec)
+        data = bytearray(pack(tensor))
+        data[-1] = 0b0000_0111  # 3 bits set under a 2/8 bound
+        with pytest.raises(ValueError, match="density bound"):
+            unpack(bytes(data))

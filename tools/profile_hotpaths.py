@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Profile the simulator's hot paths: one representative GEMM per mode.
+
+Runs ``compress`` plus ``SystolicArray.run_gemm`` in each of the four
+execution modes (and the two raw sparse kernels) under cProfile and
+prints the top-15 functions by cumulative time, so perf PRs can measure
+before/after instead of guessing where the time goes.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hotpaths.py [--size M K N] [--top N]
+
+The workload defaults to the Fig. 9 microbench layer (1024x1152x256,
+4/8 weights, 50% activations) fetched through the shared
+``repro.eval.functional_operands`` memo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def _profile(label: str, func, *args, top: int = 15, **kwargs) -> None:
+    print(f"\n=== {label} " + "=" * max(1, 68 - len(label)))
+    profiler = cProfile.Profile()
+    profiler.enable()
+    func(*args, **kwargs)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", nargs=3, type=int, default=[1024, 1152, 256],
+                        metavar=("M", "K", "N"),
+                        help="GEMM shape (default: fig. 9 microbench layer)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows of profile output per section")
+    args = parser.parse_args(argv)
+    m, k, n = args.size
+
+    from repro.arch.systolic import Mode, SystolicArray, SystolicConfig
+    from repro.core.dap import dap_prune
+    from repro.core.dbb import DBBSpec, compress
+    from repro.core.gemm import (
+        clear_compress_cache,
+        compress_operands,
+        dbb_gemm,
+        joint_dbb_gemm,
+    )
+    from repro.eval import functional_operands
+
+    spec = DBBSpec(8, 4)
+    a, w = functional_operands(m, k, n, w_nnz=4, a_density=0.5)
+    print(f"workload: {m}x{k}x{n}, 4/8 weights, 50% dense activations")
+
+    _profile("compress (W)", compress, w.T, spec, top=args.top)
+
+    w_dbb = compress(w.T, spec)
+    _profile("dbb_gemm (S2TA-W kernel)", dbb_gemm, a, w_dbb, top=args.top)
+
+    a_ok = dap_prune(a, spec).pruned
+    a_dbb, w_dbb2 = compress_operands(a_ok, w, spec, spec)
+    _profile("joint_dbb_gemm (S2TA-AW kernel)", joint_dbb_gemm,
+             a_dbb, w_dbb2, top=args.top)
+
+    configs = {
+        "DENSE": SystolicConfig(rows=32, cols=64, mode=Mode.DENSE),
+        "ZVCG": SystolicConfig(rows=32, cols=64, mode=Mode.ZVCG),
+        "WDBB": SystolicConfig(rows=4, cols=8, mode=Mode.WDBB,
+                               w_spec=spec, tpe_a=4, tpe_c=4),
+        "AWDBB": SystolicConfig(rows=8, cols=8, mode=Mode.AWDBB,
+                                w_spec=spec, a_spec=spec, tpe_a=8, tpe_c=4),
+    }
+    for name, config in configs.items():
+        clear_compress_cache()  # profile the cold path, not the memo hit
+        sim = SystolicArray(config)
+        _profile(f"run_gemm {name}", sim.run_gemm, a, w, top=args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
