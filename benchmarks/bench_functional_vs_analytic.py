@@ -1,0 +1,54 @@
+"""Cross-validation benchmark: functional simulation vs analytic models.
+
+Runs every AlexNet conv layer on both fidelity tiers for all five
+systolic-family accelerators and reports the per-layer deltas in cycles,
+fired MACs and energy. The saved table is the evidence that the analytic
+fast path tracks the functional ground truth; the assertions freeze the
+agreement contract (SRAM bytes and MAC slots exact, fired MACs within a
+fraction of a percent, energy within a few percent, cycles within the
+tile fill/drain skew the analytic model pipelines away).
+"""
+
+from repro.eval import fig11_full_models, xval_functional_vs_analytic
+
+# Agreement contract (relative |delta| bounds, functional as reference).
+FIRED_TOL = 0.01
+ENERGY_TOL = 0.06
+CYCLES_TOL = 0.25
+
+
+def test_bench_xval_alexnet(benchmark, save_result):
+    result = benchmark(xval_functional_vs_analytic, "alexnet")
+    save_result(result)
+    worst_cycles = worst_fired = worst_energy = 0.0
+    for name, layer, d_cycles, d_fired, d_energy, sram, slots in result.rows:
+        assert sram == "yes", f"{name}/{layer}: SRAM bytes diverged"
+        if not name.startswith("SMT"):  # SMT slots derive from cycles
+            assert slots == "yes", f"{name}/{layer}: MAC slots diverged"
+        worst_cycles = max(worst_cycles, abs(d_cycles) / 100)
+        worst_fired = max(worst_fired, abs(d_fired) / 100)
+        worst_energy = max(worst_energy, abs(d_energy) / 100)
+    benchmark.extra_info["worst_cycles_delta"] = worst_cycles
+    benchmark.extra_info["worst_fired_delta"] = worst_fired
+    benchmark.extra_info["worst_energy_delta"] = worst_energy
+    assert worst_fired < FIRED_TOL
+    assert worst_energy < ENERGY_TOL
+    assert worst_cycles < CYCLES_TOL
+
+
+def test_bench_fig11_functional(benchmark, save_result):
+    """Full-size functional Fig. 11 reproduces the analytic headlines."""
+    result = benchmark.pedantic(
+        lambda: fig11_full_models(functional=True), rounds=1, iterations=1)
+    save_result(result)
+    analytic = fig11_full_models()
+    fun_avg = result.row("average")
+    ana_avg = analytic.row("average")
+    benchmark.extra_info["functional_aw_energy_x"] = fun_avg[5]
+    benchmark.extra_info["functional_aw_speedup_x"] = fun_avg[6]
+    benchmark.extra_info["analytic_aw_energy_x"] = ana_avg[5]
+    benchmark.extra_info["analytic_aw_speedup_x"] = ana_avg[6]
+    # The functional migration must not move the published headline by
+    # more than the cross-tier modelling differences allow.
+    assert abs(fun_avg[5] - ana_avg[5]) < 0.15
+    assert abs(fun_avg[6] - ana_avg[6]) < 0.25

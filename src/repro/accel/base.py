@@ -1,17 +1,34 @@
 """Common accelerator-model machinery.
 
-An :class:`AcceleratorModel` prices one :class:`LayerSpec` at a time:
-the subclass provides the compute-cycle count and hardware events
-(:meth:`AcceleratorModel._layer_events`), the base class applies the
-memory-bound cap for FC/depthwise layers (Sec. 8.3), prices the events
-through the :class:`~repro.energy.model.EnergyModel`, and aggregates
-whole-network runs.
+An :class:`AcceleratorModel` prices one :class:`LayerSpec` at a time in
+either of two fidelity tiers:
+
+- **Analytic fast path** (:meth:`AcceleratorModel.run_model`): the
+  subclass provides closed-form compute cycles and hardware events from
+  the layer's density parameters (:meth:`AcceleratorModel._layer_events`)
+  — no tensor is ever executed. This is what the experiment runners use
+  by default; it prices a whole ImageNet network in milliseconds.
+- **Functional ground truth** (:meth:`AcceleratorModel.run_model_functional`):
+  concrete INT8 operands are synthesized at the layer's real GEMM shape
+  (:mod:`repro.workloads.from_spec`) and executed on the cycle-level
+  simulator (:mod:`repro.arch.systolic`) via the subclass's
+  :meth:`AcceleratorModel.functional_sim_config` hook; the *measured*
+  event counts price through the same energy model, making the two tiers
+  directly comparable (see ``tests/test_cross_validation.py`` and
+  ``benchmarks/bench_functional_vs_analytic.py`` for the agreement
+  contract: SRAM bytes and MAC slots exact, fired MACs and energy within
+  a few percent).
+
+In both tiers the base class applies the memory-bound cap for
+FC/depthwise layers (Sec. 8.3), prices events through the
+:class:`~repro.energy.model.EnergyModel`, and aggregates whole-network
+runs.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 from repro.arch.events import EventCounts
@@ -179,6 +196,111 @@ class AcceleratorModel:
         )
         for layer in layers:
             result.layer_results.append(self.run_layer(layer))
+        return result
+
+    # -------------------------------------------------------------- #
+    # Functional tier: synthesized operands on the cycle simulator
+    # -------------------------------------------------------------- #
+
+    def functional_sim_config(self):
+        """Cycle-simulator config for this design point. Subclass hook;
+        accelerators without a systolic functional model (e.g. the
+        outer-product comparison points) leave it unimplemented."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no functional simulator")
+
+    @property
+    def supports_functional(self) -> bool:
+        """True when this model can run the functional tier."""
+        try:
+            self.functional_sim_config()
+        except NotImplementedError:
+            return False
+        return True
+
+    def _functional_gemm_kwargs(self, layer: LayerSpec) -> dict:
+        """Per-layer ``run_gemm`` knobs (A-DBB density, dense fallback)."""
+        return {}
+
+    def run_gemm_functional(self, a, w, **kwargs):
+        """Run one concrete GEMM on the functional/cycle simulator.
+
+        The simulator compresses any compressed-weight operand through the
+        shared :func:`repro.core.gemm.compress_cached` memo, so sweeping
+        the same workload across variants and density points compresses
+        each weight tensor exactly once.
+        """
+        from repro.arch.systolic import SystolicArray
+
+        return SystolicArray(self.functional_sim_config()).run_gemm(
+            a, w, **kwargs)
+
+    def run_layer_functional(
+        self,
+        layer: LayerSpec,
+        seed: int = 0,
+        max_m: Optional[int] = None,
+        cache=None,
+    ) -> LayerResult:
+        """Execute one layer's GEMM on synthesized operands.
+
+        Operands come from the shared byte-budget memo in
+        :mod:`repro.workloads.from_spec` (one synthesis per layer shape /
+        density / seed across an accelerator sweep). ``max_m`` caps the
+        simulated output-pixel rows and linearly extrapolates the
+        measured events back to the full layer — the ``quick`` CI mode of
+        the full-model experiments; leave ``None`` for exact runs.
+        """
+        from repro.workloads.from_spec import operands_for_layer
+
+        sub = layer
+        if max_m is not None and layer.m > max_m:
+            sub = replace(layer, m=max_m)
+        a, w = operands_for_layer(sub, seed=seed, cache=cache)
+        sim = self.run_gemm_functional(
+            a, w, **self._functional_gemm_kwargs(layer))
+        events = sim.events
+        compute_cycles = sim.cycles
+        if sub is not layer:
+            factor = layer.m / sub.m
+            events = events.scaled(factor)
+            compute_cycles = int(round(compute_cycles * factor))
+        memory_cycles = self._memory_cycles(layer)
+        events.cycles = max(compute_cycles, memory_cycles)
+        breakdown = self.energy_model.breakdown(events)
+        return LayerResult(
+            layer=layer,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            events=events,
+            breakdown=breakdown,
+        )
+
+    def run_model_functional(
+        self,
+        spec: ModelSpec,
+        conv_only: bool = False,
+        seed: int = 0,
+        max_m: Optional[int] = None,
+        cache=None,
+    ) -> AccelRunResult:
+        """Functional-tier counterpart of :meth:`run_model`.
+
+        Every selected layer synthesizes real INT8 operands and executes
+        on the cycle simulator; results aggregate exactly like the
+        analytic path, so ``run_model`` and ``run_model_functional`` are
+        directly comparable run for run.
+        """
+        layers = spec.conv_layers if conv_only else spec.layers
+        result = AccelRunResult(
+            accelerator=self.name,
+            model=spec.name,
+            tech=self.tech,
+            clock_ghz=self.clock_ghz,
+        )
+        for layer in layers:
+            result.layer_results.append(self.run_layer_functional(
+                layer, seed=seed, max_m=max_m, cache=cache))
         return result
 
     # -------------------------------------------------------------- #

@@ -150,17 +150,14 @@ class S2TAW(AcceleratorModel):
             tpe_a=self.tpe_a, tpe_c=self.tpe_c,
         )
 
-    def run_gemm_functional(self, a, w):
-        """Run one concrete GEMM on the functional/cycle simulator.
-
-        The simulator compresses the weight operand through the shared
+    def _functional_gemm_kwargs(self, layer: LayerSpec) -> dict:
+        """Unpruned layers (e.g. the first conv) run the hardware's
+        two-pass dense-weight fallback, matching ``_w_passes``. The
+        simulator compresses pruned weights through the shared
         :func:`repro.core.gemm.compress_cached` memo, so sweeping the
         same workload across variants (S2TA-W, S2TA-AW, density points)
-        compresses each weight tensor exactly once.
-        """
-        from repro.arch.systolic import SystolicArray
-
-        return SystolicArray(self.functional_sim_config()).run_gemm(a, w)
+        compresses each weight tensor exactly once."""
+        return {"w_dense": layer.w_nnz > self.datapath_nnz}
 
 
 class S2TAAW(AcceleratorModel):
@@ -287,21 +284,16 @@ class S2TAAW(AcceleratorModel):
             tpe_a=self.tpe_a, tpe_c=self.tpe_c,
         )
 
-    def run_gemm_functional(self, a, w, a_nnz=None):
-        """Run one concrete GEMM on the functional/cycle simulator.
-
-        ``a_nnz`` is the per-layer A-DBB density knob (dense bypass at
-        ``BLOCK_SIZE``). The time-unrolled simulator needs no operand
+    def _functional_gemm_kwargs(self, layer: LayerSpec) -> dict:
+        """``a_nnz`` is the per-layer A-DBB cycle knob (dense bypass at
+        ``BLOCK_SIZE``); unpruned weights stream uncompressed (dense
+        fallback). The time-unrolled simulator needs no operand
         compression at all — its event counts are closed-form over
-        non-zero counts — so sweeping ``a_nnz`` here costs no compression
-        work; only the W-DBB variant (:class:`S2TAW`) compresses weights,
-        once, through the shared :func:`repro.core.gemm.compress_cached`
-        memo.
-        """
-        from repro.arch.systolic import SystolicArray
-
-        return SystolicArray(self.functional_sim_config()).run_gemm(
-            a, w, a_nnz=a_nnz)
+        non-zero counts — so sweeping ``a_nnz`` costs no compression
+        work; only the W-DBB variant (:class:`S2TAW`) compresses
+        weights."""
+        return {"a_nnz": min(layer.a_nnz, BLOCK_SIZE),
+                "w_dense": layer.w_nnz > self.w_nnz_hw}
 
 
 class S2TAWA(AcceleratorModel):

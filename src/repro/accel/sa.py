@@ -53,6 +53,17 @@ class DenseSA(AcceleratorModel):
         events.mcu_elementwise_ops = layer.m * layer.n
         return compute_cycles, events
 
+    # -------------------------------------------------------------- #
+    # Functional cross-check bridge
+    # -------------------------------------------------------------- #
+
+    def functional_sim_config(self):
+        """The cycle simulator's config for this design point."""
+        from repro.arch.systolic import Mode, SystolicConfig
+
+        return SystolicConfig(rows=self.rows, cols=self.cols,
+                              mode=Mode.DENSE)
+
 
 class ZvcgSA(DenseSA):
     """SA with zero-value clock gating — energy savings, no speedup."""
@@ -73,3 +84,10 @@ class ZvcgSA(DenseSA):
         events.acc_reg_ops = fired
         events.gated_acc_reg_ops = slots - fired
         return compute_cycles, events
+
+    def functional_sim_config(self):
+        """The cycle simulator's config for this design point."""
+        from repro.arch.systolic import Mode, SystolicConfig
+
+        return SystolicConfig(rows=self.rows, cols=self.cols,
+                              mode=Mode.ZVCG)

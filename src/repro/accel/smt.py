@@ -48,17 +48,49 @@ class SmtSA(ZvcgSA):
             self._speedup_cache[key] = max(1.0, speedup)
         return self._speedup_cache[key]
 
-    def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
-        zvcg_cycles, events = super()._layer_events(layer)
-        speedup = self.speedup_at(layer.w_density, layer.a_density)
+    def _smt_postpass(self, zvcg_cycles: int, events: EventCounts,
+                      w_density: float, a_density: float) -> int:
+        """Rescale ZVCG events by the queueing-simulated speedup.
+
+        Shared by both fidelity tiers (the staging-FIFO microarchitecture
+        has no systolic-schedule equivalent, so the functional tier also
+        post-processes a ZVCG execution): fewer cycles mean fewer gated
+        (idle) MAC/acc slots while the operand streams still carry every
+        element, and every useful pair goes through the staging FIFO
+        once. Mutates ``events`` and returns the rescaled cycle count.
+        """
+        speedup = self.speedup_at(w_density, a_density)
         compute_cycles = math.ceil(zvcg_cycles / speedup)
-        # Fewer cycles -> fewer gated (idle) MAC/acc slots; the operand
-        # streams still carry every element, so register traffic stays.
         slots = compute_cycles * self.rows * self.cols
         fired = events.mac_ops
         events.gated_mac_ops = max(0, slots - fired)
         events.gated_acc_reg_ops = max(0, slots - fired)
-        # Every useful pair goes through the staging FIFO once.
         events.fifo_push_ops = fired
         events.fifo_pop_ops = fired
+        return compute_cycles
+
+    def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
+        zvcg_cycles, events = super()._layer_events(layer)
+        compute_cycles = self._smt_postpass(
+            zvcg_cycles, events, layer.w_density, layer.a_density)
         return compute_cycles, events
+
+    # -------------------------------------------------------------- #
+    # Functional cross-check bridge
+    # -------------------------------------------------------------- #
+
+    def run_gemm_functional(self, a, w, **kwargs):
+        """ZVCG functional execution plus the SMT queueing post-pass.
+
+        Exactly like the analytic model, the concrete GEMM executes on
+        the ZVCG simulator and ``_smt_postpass`` rescales the result —
+        here at the operands' *measured* densities.
+        """
+        from repro.core.sparsity import density
+
+        result = super().run_gemm_functional(a, w, **kwargs)
+        cycles = self._smt_postpass(
+            result.cycles, result.events, density(w), density(a))
+        result.events.cycles = cycles
+        result.cycles = cycles
+        return result

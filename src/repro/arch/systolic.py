@@ -16,6 +16,14 @@ the hardware event counts that drive the energy model:
   block costs ``a_nnz`` cycles and per-layer density is a pure cycle
   knob (speedup ``BZ/a_nnz``).
 
+Both DBB modes also model the hardware's dense-weight fallback (Sec. 4)
+for unpruned layers via ``run_gemm(..., w_dense=True)``: ``WDBB`` takes
+``ceil(BZ/NNZ)`` passes per uncompressed block, ``AWDBB`` streams
+uncompressed weight blocks. Event accounting (operand-register reuse,
+accumulator gating, compressed block bytes) matches the analytic
+accelerator models in :mod:`repro.accel` term for term, which is what the
+functional full-model pipeline cross-validates.
+
 The TPE organization (Sec. 6.1) is parameterized by ``tpe_a`` x ``tpe_c``
 (activation blocks x weight blocks per TPE, the outer-product dims); the
 scalar-PE baselines are the degenerate 1x1 case. TPE data reuse shows up
@@ -132,6 +140,7 @@ class SystolicArray:
         a: np.ndarray,
         w: np.ndarray,
         a_nnz: Optional[int] = None,
+        w_dense: bool = False,
     ) -> SystolicResult:
         """Execute ``C = A @ W`` on the configured array.
 
@@ -139,7 +148,12 @@ class SystolicArray:
         (default: the configured activation spec's bound); the simulator
         applies DAP itself, as the hardware does at the activation-buffer
         write port. In ``WDBB``/``AWDBB`` modes the weights must already
-        satisfy the weight spec (statically pruned offline).
+        satisfy the weight spec (statically pruned offline) unless
+        ``w_dense`` requests the hardware's dense-weight fallback (Sec. 4,
+        used for unpruned layers such as the first conv): ``WDBB`` then
+        runs ``ceil(BZ/NNZ)`` passes per block over uncompressed weight
+        blocks, and ``AWDBB`` streams uncompressed weight blocks while the
+        activation serialization is unchanged.
         """
         a = np.asarray(a)
         w = np.asarray(w)
@@ -151,8 +165,8 @@ class SystolicArray:
         if mode is Mode.ZVCG:
             return self._run_scalar(a, w, zvcg=True)
         if mode is Mode.WDBB:
-            return self._run_wdbb(a, w)
-        return self._run_awdbb(a, w, a_nnz)
+            return self._run_wdbb(a, w, w_dense=w_dense)
+        return self._run_awdbb(a, w, a_nnz, w_dense=w_dense)
 
     # ------------------------------------------------------------------ #
     # scalar-PE baselines
@@ -185,7 +199,12 @@ class SystolicArray:
             events.mac_ops = useful
             events.gated_mac_ops = slots - useful
         else:
-            events.mac_ops = slots
+            # Dense MACs fire on every real (M, K, N) triple; tile-padding
+            # slots carry zero operands and count as gated, matching the
+            # analytic DenseSA model.
+            dense_macs = m * k * n
+            events.mac_ops = dense_macs
+            events.gated_mac_ops = slots - dense_macs
         # Operand pipeline registers: one a-hop and one w-hop per slot.
         # ZVCG gates the register when its operand is zero.
         a_hops = slots  # each activation hop feeds exactly one MAC slot
@@ -229,54 +248,70 @@ class SystolicArray:
                 f"prune_weights_dbb first (static offline pruning)"
             )
 
-    def _run_wdbb(self, a: np.ndarray, w: np.ndarray) -> SystolicResult:
+    def _run_wdbb(self, a: np.ndarray, w: np.ndarray,
+                  w_dense: bool = False) -> SystolicResult:
         cfg = self.config
         spec = cfg.w_spec
-        self._check_weights(w)
         m, k = a.shape
         n = w.shape[1]
         bz = spec.block_size
         k_blocks = math.ceil(k / bz)
+        # Dense-weight fallback (Sec. 4): uncompressed blocks take
+        # ceil(BZ/NNZ) passes through the NNZ-wide DP units.
+        passes = math.ceil(bz / spec.max_nnz) if w_dense else 1
+        if w_dense:
+            # Uncompressed block, no positional mask.
+            w_hop_block_bytes = w_sram_block_bytes = bz
+        else:
+            self._check_weights(w)
+            w_hop_block_bytes = spec.max_nnz + int(spec.mask_bytes())
+            w_sram_block_bytes = math.ceil(spec.compressed_block_bytes(1))
         tiles_m, tiles_n = self._tile_counts(m, n)
         tiles = tiles_m * tiles_n
-        cycles = tiles * (k_blocks + self._skew())
-        # The weight compression memo is shared across the mode/density
-        # sweep: every variant of a workload compresses the same W once.
-        w_dbb = compress_cached(w.T, spec)
+        cycles = tiles * (k_blocks * passes + self._skew())
         events = EventCounts(cycles=cycles)
-        # MAC slots: NNZ per (output, block); padded tiles gate.
-        slots = tiles * cfg.eff_rows * cfg.eff_cols * k_blocks * spec.max_nnz
+        # MAC slots: NNZ per (output, block, pass); padded tiles gate.
+        slots = (tiles * cfg.eff_rows * cfg.eff_cols
+                 * k_blocks * passes * spec.max_nnz)
         # A MAC fires per (stored non-zero weight, non-zero activation at
         # the matching reduction index). Stored non-zeros of a compressed
-        # compliant tensor are exactly the non-zeros of W, so the triple
-        # loop over blocks collapses to one dot product of per-index
-        # non-zero counts (bit-identical with the per-block walk, see
+        # compliant tensor are exactly the non-zeros of W (and the dense
+        # fallback stores every element), so the triple loop over blocks
+        # collapses to one dot product of per-index non-zero counts
+        # (bit-identical with the per-block walk, see
         # repro.core.reference.naive_wdbb_fired).
         a_nz_cols = np.count_nonzero(a, axis=0).astype(np.int64)
         w_nz_rows = np.count_nonzero(w, axis=1).astype(np.int64)
         fired = int(a_nz_cols @ w_nz_rows)
-        mux = n * k_blocks * spec.max_nnz * m
+        mux = n * k_blocks * passes * spec.max_nnz * m
         events.mac_ops = fired
         events.gated_mac_ops = slots - fired
         events.mux_ops = mux
-        # Operand registers: a block hop serves tpe_c weight blocks; a
-        # weight block hop serves tpe_a activation blocks (intra-TPE reuse).
+        # Operand registers with intra-TPE reuse. The dot-product TPE
+        # reuses activations less than the time-unrolled one (Sec. 6.1):
+        # the dense 8-wide activation block broadcast to the DP4M8 muxes
+        # recovers only half of the C-way reuse — mirroring the analytic
+        # S2TA-W model.
         a_hops_bytes = tiles_n * cfg.cols * m * k  # dense activations
-        w_hops_bytes = (
-            tiles_m * cfg.rows * n * k_blocks
-            * (spec.max_nnz + int(spec.mask_bytes()))
-        )
-        events.operand_reg_ops = a_hops_bytes // cfg.tpe_c + w_hops_bytes // cfg.tpe_a
+        w_hops_bytes = tiles_m * cfg.rows * n * k_blocks * w_hop_block_bytes
+        events.operand_reg_ops = (a_hops_bytes // max(1, cfg.tpe_c // 2)
+                                  + w_hops_bytes // cfg.tpe_a)
         # DP4M8: NNZ MACs reduce through an adder tree into one accumulator
-        # update per (output, block).
-        events.acc_reg_ops = m * n * k_blocks
-        w_bytes_per_pass = n * k_blocks * math.ceil(
-            spec.compressed_block_bytes(1))
+        # update per (output, block pass), gated when no product fired.
+        acc_slots = m * n * k_blocks * passes
+        events.acc_reg_ops = min(acc_slots, fired)
+        events.gated_acc_reg_ops = acc_slots - events.acc_reg_ops
+        w_bytes_per_pass = n * k_blocks * w_sram_block_bytes
         self._add_sram_events(events, m, k, n,
                               a_bytes_per_pass=m * k,
                               w_bytes_per_pass=w_bytes_per_pass,
                               tiles_m=tiles_m, tiles_n=tiles_n)
-        out = dbb_gemm(a, w_dbb)
+        if w_dense:
+            out = dense_gemm(a, w)
+        else:
+            # The weight compression memo is shared across the mode/density
+            # sweep: every variant of a workload compresses the same W once.
+            out = dbb_gemm(a, compress_cached(w.T, spec))
         return SystolicResult(output=out, cycles=cycles, events=events,
                               mode=cfg.mode)
 
@@ -285,10 +320,12 @@ class SystolicArray:
     # ------------------------------------------------------------------ #
 
     def _run_awdbb(self, a: np.ndarray, w: np.ndarray,
-                   a_nnz: Optional[int]) -> SystolicResult:
+                   a_nnz: Optional[int],
+                   w_dense: bool = False) -> SystolicResult:
         cfg = self.config
         w_spec = cfg.w_spec
-        self._check_weights(w)
+        if not w_dense:
+            self._check_weights(w)
         a_spec = cfg.a_spec
         nnz_a = a_spec.max_nnz if a_nnz is None else a_nnz
         if not 1 <= nnz_a <= a_spec.block_size:
@@ -326,16 +363,30 @@ class SystolicArray:
         events.mac_ops = fired
         events.gated_mac_ops = slots - fired
         events.mux_ops = m * n * k_blocks * steps_per_block
-        # Compressed operand hops with intra-TPE reuse.
-        a_block_bytes = steps_per_block + int(a_spec.mask_bytes())
-        w_block_bytes = w_spec.max_nnz + int(w_spec.mask_bytes())
+        # Compressed operand hops with intra-TPE reuse. Dense bypass /
+        # fallback streams uncompressed blocks with no positional mask.
+        if steps_per_block < bz:
+            a_block_bytes = steps_per_block + int(a_spec.mask_bytes())
+        else:
+            a_block_bytes = bz
+        if w_dense:
+            w_block_bytes = bz
+        else:
+            w_block_bytes = w_spec.max_nnz + int(w_spec.mask_bytes())
         a_hops_bytes = tiles_n * cfg.cols * m * k_blocks * a_block_bytes
         w_hops_bytes = tiles_m * cfg.rows * n * k_blocks * w_block_bytes
+        # The serialized activation element broadcasts across the TPE's C
+        # weight columns; beyond the DP1M4 mux width the broadcast needs
+        # repeater stages, capping the free reuse at the mux width
+        # (mirroring the analytic S2TA-AW model).
+        a_reuse = max(1, min(cfg.tpe_c, w_spec.max_nnz))
         events.operand_reg_ops = (
-            a_hops_bytes // cfg.tpe_c + w_hops_bytes // cfg.tpe_a
+            a_hops_bytes // a_reuse + w_hops_bytes // cfg.tpe_a
         )
-        # DP1M4: the single accumulator updates once per streamed cycle.
-        events.acc_reg_ops = m * n * k_blocks * steps_per_block
+        # DP1M4: one accumulator RMW per streamed cycle, gated on miss.
+        acc_slots = m * n * k_blocks * steps_per_block
+        events.acc_reg_ops = min(acc_slots, fired)
+        events.gated_acc_reg_ops = acc_slots - events.acc_reg_ops
         # DAP array cost: once per unique activation block written to AB.
         if nnz_a < bz:
             unique_blocks = m * k_blocks
@@ -345,7 +396,10 @@ class SystolicArray:
         self._add_sram_events(events, m, k, n,
                               a_bytes_per_pass=a_bytes_per_pass,
                               w_bytes_per_pass=w_bytes_per_pass,
-                              tiles_m=tiles_m, tiles_n=tiles_n)
+                              tiles_m=tiles_m, tiles_n=tiles_n,
+                              # Activations land in the AB through the DAP
+                              # write port in compressed block form.
+                              a_write_bytes=a_bytes_per_pass)
         out = dense_gemm(a_pruned, w)
         return SystolicResult(output=out, cycles=cycles, events=events,
                               mode=cfg.mode)
@@ -355,10 +409,14 @@ class SystolicArray:
     @staticmethod
     def _add_sram_events(events: EventCounts, m: int, k: int, n: int,
                          a_bytes_per_pass: int, w_bytes_per_pass: int,
-                         tiles_m: int, tiles_n: int) -> None:
+                         tiles_m: int, tiles_n: int,
+                         a_write_bytes: Optional[int] = None) -> None:
         """Output-stationary SRAM traffic: operands re-read per tile pass,
-        INT8 results written once, one MCU post-op per output element."""
+        results written once (``a_write_bytes`` overrides the dense INT8
+        default for compressed activation-buffer write ports), one MCU
+        post-op per output element."""
         events.sram_a_read_bytes += a_bytes_per_pass * tiles_n
         events.sram_w_read_bytes += w_bytes_per_pass * tiles_m
-        events.sram_a_write_bytes += m * n
+        events.sram_a_write_bytes += (m * n if a_write_bytes is None
+                                      else a_write_bytes)
         events.mcu_elementwise_ops += m * n

@@ -10,7 +10,12 @@ Usage::
 
 Every command prints plain text; ``experiment`` accepts any artifact id
 from DESIGN.md's index (fig1, fig3, fig9a..fig9d, fig10, fig11, fig12,
-tbl1..tbl5, sec7, ablation-unroll, ablation-bz, ablation-dap).
+tbl1..tbl5, sec7, ablation-unroll, ablation-bz, ablation-dap) plus
+``xval`` (the functional-vs-analytic cross-validation table). The
+full-model artifacts (fig11, fig12) take ``--functional`` to run the
+honest functional-simulation tier instead of the analytic fast path,
+``--quick`` to subsample layers for a fast check, and ``--seed`` for
+operand synthesis.
 """
 
 from __future__ import annotations
@@ -46,6 +51,11 @@ ACCELERATORS: Dict[str, Callable] = {
 }
 
 
+#: Artifacts whose runners take the functional-tier keywords
+#: (functional=, quick=, seed=).
+FUNCTIONAL_ARTIFACTS = ("fig11", "fig12")
+
+
 def _experiments() -> Dict[str, Callable]:
     from repro.eval import (
         ablation_block_size,
@@ -63,6 +73,7 @@ def _experiments() -> Dict[str, Callable]:
         tbl3_accuracy,
         tbl4_comparison,
         tbl5_summary,
+        xval_functional_vs_analytic,
     )
 
     return {
@@ -75,6 +86,7 @@ def _experiments() -> Dict[str, Callable]:
         "fig10": fig10_variant_breakdown,
         "fig11": fig11_full_models,
         "fig12": fig12_alexnet_per_layer,
+        "xval": xval_functional_vs_analytic,
         "tbl1": tbl1_buffer_per_mac,
         "tbl2": tbl2_s2ta_breakdown,
         "tbl3": lambda: tbl3_accuracy(quick=True),
@@ -136,7 +148,14 @@ def cmd_run(args) -> str:
 
 def cmd_experiment(args) -> str:
     experiments = _experiments()
+    functional_requested = (args.functional or args.quick
+                            or args.seed is not None)
+    seed = 0 if args.seed is None else args.seed
     if args.artifact == "all":
+        if functional_requested:
+            raise SystemExit(
+                "--functional/--quick/--seed apply to a single artifact "
+                f"({', '.join(FUNCTIONAL_ARTIFACTS)} or xval), not 'all'")
         return "\n\n".join(run().render()
                            for name, run in experiments.items())
     try:
@@ -146,6 +165,23 @@ def cmd_experiment(args) -> str:
             f"unknown artifact {args.artifact!r}; choose from "
             f"{', '.join(sorted(experiments))} or 'all'"
         )
+    if args.artifact in FUNCTIONAL_ARTIFACTS:
+        if not args.functional and (args.quick or args.seed is not None):
+            raise SystemExit(
+                "--quick/--seed tune the functional tier; pass "
+                "--functional as well")
+        return runner(functional=args.functional, quick=args.quick,
+                      seed=seed).render()
+    if args.artifact == "xval":
+        if args.functional or args.quick:
+            raise SystemExit("xval always runs both tiers; it takes "
+                             "--seed but not --functional/--quick")
+        return runner(seed=seed).render()
+    if functional_requested:
+        raise SystemExit(
+            f"--functional/--quick/--seed are only supported by "
+            f"{', '.join(FUNCTIONAL_ARTIFACTS)} and xval, "
+            f"not {args.artifact!r}")
     return runner().render()
 
 
@@ -177,6 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="reproduce a paper artifact")
     exp.add_argument("artifact")
+    exp.add_argument("--functional", action="store_true",
+                     help="run the functional-simulation tier "
+                          "(fig11/fig12: concrete INT8 GEMMs on the "
+                          "cycle simulator)")
+    exp.add_argument("--quick", action="store_true",
+                     help="subsample layers for a fast functional check")
+    exp.add_argument("--seed", type=int, default=None,
+                     help="operand-synthesis seed for the functional tier")
     exp.set_defaults(func=cmd_experiment)
 
     sweep = sub.add_parser("sweep", help="Sec. 7 design-space sweep")

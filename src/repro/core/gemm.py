@@ -44,8 +44,32 @@ __all__ = [
     "compress_operands",
     "compress_cached",
     "clear_compress_cache",
+    "compress_cache_stats",
     "gemm_mac_count",
 ]
+
+# float64 has a 53-bit exact-integer window; an integer matmul whose
+# worst-case accumulated magnitude stays below it is bit-exact in BLAS.
+_F64_EXACT_LIMIT = 2 ** 53
+
+
+def _int_matmul(a: np.ndarray, w: np.ndarray, accumulate_dtype) -> np.ndarray:
+    """Integer matmul, routed through float64 BLAS when provably exact.
+
+    NumPy integer ``@`` runs a slow non-BLAS kernel; for INT8 operands the
+    float64 product is bit-exact (every partial sum stays far below 2^53),
+    and dgemm is ~20x faster — what makes full-model functional simulation
+    (VGG conv layers are billions of MACs) tractable. Falls back to the
+    integer kernel whenever exactness cannot be guaranteed.
+    """
+    if np.issubdtype(a.dtype, np.integer) and np.issubdtype(w.dtype, np.integer):
+        k = a.shape[1]
+        a_max = int(np.abs(a, dtype=np.int64).max()) if a.size else 0
+        w_max = int(np.abs(w, dtype=np.int64).max()) if w.size else 0
+        if k * a_max * w_max < _F64_EXACT_LIMIT:
+            out = a.astype(np.float64) @ w.astype(np.float64)
+            return out.astype(accumulate_dtype)
+    return a.astype(accumulate_dtype) @ w.astype(accumulate_dtype)
 
 
 def dense_gemm(a: np.ndarray, w: np.ndarray, accumulate_dtype=np.int64) -> np.ndarray:
@@ -59,7 +83,7 @@ def dense_gemm(a: np.ndarray, w: np.ndarray, accumulate_dtype=np.int64) -> np.nd
     w = np.asarray(w)
     if a.ndim != 2 or w.ndim != 2 or a.shape[1] != w.shape[0]:
         raise ValueError(f"shape mismatch: A {a.shape} @ W {w.shape}")
-    return a.astype(accumulate_dtype) @ w.astype(accumulate_dtype)
+    return _int_matmul(a, w, accumulate_dtype)
 
 
 def compress_operands(
@@ -80,6 +104,8 @@ def compress_operands(
 
 _COMPRESS_CACHE: "OrderedDict[tuple, DBBTensor]" = OrderedDict()
 _COMPRESS_CACHE_MAX = 64
+_COMPRESS_CACHE_HITS = 0
+_COMPRESS_CACHE_MISSES = 0
 
 
 def compress_cached(matrix: np.ndarray, spec: DBBSpec) -> DBBTensor:
@@ -92,13 +118,16 @@ def compress_cached(matrix: np.ndarray, spec: DBBSpec) -> DBBTensor:
     gets its own entry. The returned tensor's arrays are shared — treat it
     as immutable (every library consumer does).
     """
+    global _COMPRESS_CACHE_HITS, _COMPRESS_CACHE_MISSES
     matrix = np.ascontiguousarray(matrix)
     key = (spec, matrix.shape, matrix.dtype.str,
            hashlib.sha1(matrix.tobytes()).hexdigest())
     hit = _COMPRESS_CACHE.get(key)
     if hit is not None:
         _COMPRESS_CACHE.move_to_end(key)
+        _COMPRESS_CACHE_HITS += 1
         return hit
+    _COMPRESS_CACHE_MISSES += 1
     tensor = compress(matrix, spec)
     _COMPRESS_CACHE[key] = tensor
     while len(_COMPRESS_CACHE) > _COMPRESS_CACHE_MAX:
@@ -107,8 +136,27 @@ def compress_cached(matrix: np.ndarray, spec: DBBSpec) -> DBBTensor:
 
 
 def clear_compress_cache() -> None:
-    """Drop all memoized compressed operands (mainly for tests/benchmarks)."""
+    """Drop all memoized compressed operands and reset the hit/miss
+    accounting (mainly for tests/benchmarks)."""
+    global _COMPRESS_CACHE_HITS, _COMPRESS_CACHE_MISSES
     _COMPRESS_CACHE.clear()
+    _COMPRESS_CACHE_HITS = 0
+    _COMPRESS_CACHE_MISSES = 0
+
+
+def compress_cache_stats() -> dict:
+    """Hit/miss accounting of the weight-compression memo.
+
+    ``hits``/``misses`` count :func:`compress_cached` lookups since the
+    last :func:`clear_compress_cache`; ``entries`` is the current resident
+    count. A mode/density sweep over one workload should show exactly one
+    miss per distinct weight tensor and hits everywhere else.
+    """
+    return {
+        "hits": _COMPRESS_CACHE_HITS,
+        "misses": _COMPRESS_CACHE_MISSES,
+        "entries": len(_COMPRESS_CACHE),
+    }
 
 
 # --------------------------------------------------------------------- #
@@ -130,14 +178,14 @@ def dbb_gemm(a: np.ndarray, w_dbb: DBBTensor, accumulate_dtype=np.int64) -> np.n
     # Expand over the block-padded width, then crop/zero-extend to K: the
     # hardware skips stored positions beyond K (zero padding of the last
     # block), which the crop reproduces exactly.
-    w_padded = w_dbb._dense_padded(dtype=accumulate_dtype)  # (N, Kb*BZ)
+    w_padded = w_dbb._dense_padded(dtype=w_dbb.values.dtype)  # (N, Kb*BZ)
     n, k_padded = w_padded.shape
     if k_padded >= k:
         w_k = w_padded[:, :k]
     else:
         w_k = np.zeros((n, k), dtype=w_padded.dtype)
         w_k[:, :k_padded] = w_padded
-    return a.astype(accumulate_dtype) @ w_k.T
+    return _int_matmul(a, np.ascontiguousarray(w_k.T), accumulate_dtype)
 
 
 def joint_dbb_gemm(
@@ -162,9 +210,10 @@ def joint_dbb_gemm(
             f"reduction lengths differ: A has {a_dbb.blocks_per_row} blocks, "
             f"W has {w_dbb.blocks_per_row}"
         )
-    a_dense = a_dbb._dense_padded(dtype=accumulate_dtype)  # (M, Kb*BZ)
-    w_dense = w_dbb._dense_padded(dtype=accumulate_dtype)  # (N, Kb*BZ)
-    return a_dense @ w_dense.T
+    a_dense = a_dbb._dense_padded(dtype=a_dbb.values.dtype)  # (M, Kb*BZ)
+    w_dense = w_dbb._dense_padded(dtype=w_dbb.values.dtype)  # (N, Kb*BZ)
+    return _int_matmul(a_dense, np.ascontiguousarray(w_dense.T),
+                       accumulate_dtype)
 
 
 def gemm_mac_count(m: int, k: int, n: int) -> int:

@@ -25,6 +25,7 @@ from repro.eval.experiments import (
     tbl3_accuracy,
     tbl4_comparison,
     tbl5_summary,
+    xval_functional_vs_analytic,
 )
 from repro.eval.tables import ExperimentResult, format_table
 
@@ -38,6 +39,7 @@ __all__ = [
     "fig10_variant_breakdown",
     "fig11_full_models",
     "fig12_alexnet_per_layer",
+    "xval_functional_vs_analytic",
     "tbl1_buffer_per_mac",
     "tbl2_s2ta_breakdown",
     "tbl3_accuracy",

@@ -1,0 +1,204 @@
+"""Concrete operand synthesis from analytic :class:`LayerSpec`s.
+
+The functional full-model pipeline (``AcceleratorModel.run_model_functional``)
+needs real INT8 tensors for every layer of a benchmark network, matched to
+the analytic density profile the performance model prices:
+
+- the GEMM shape is the spec's ``m``/``k``/``n`` (the im2col lowering of
+  :mod:`repro.nn.im2col` — ``k`` is the patch axis DBB blocks run along,
+  and need not be a multiple of ``BZ``);
+- weights satisfy the layer's W-DBB bound (``w_nnz`` per ``BZ`` block)
+  with element density ``layer.w_density``;
+- activations satisfy the layer's A-DBB bound (``a_nnz`` per block, so
+  the simulator's DAP pass is a no-op and all four execution modes see
+  the *same* element density ``layer.a_density``, exactly as the analytic
+  models assume).
+
+Density is hit by randomized rounding of the per-block non-zero count
+(expected element density equals the target to well under a percent at
+real layer sizes), with uniformly random positions inside each block and
+uniform non-zero INT8 magnitudes.
+
+Generated operands are memoized in :class:`OperandCache`, an LRU bounded
+by a *byte budget* rather than an entry count (a single VGG conv layer's
+activation matrix is ~29 MB; entry-count caches like ``lru_cache`` grow
+unboundedly in bytes). Cached arrays are returned read-only and shared
+across every accelerator variant in a sweep, so each layer's operands are
+synthesized once per (shape, density, seed) point.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.models.specs import BLOCK_SIZE, LayerSpec
+
+__all__ = [
+    "blocked_density_operand",
+    "spec_operands",
+    "OperandCache",
+    "operands_for_layer",
+    "default_operand_cache",
+]
+
+
+def blocked_density_operand(
+    rows: int,
+    width: int,
+    nnz_cap: int,
+    density: float,
+    rng: np.random.Generator,
+    block_size: int = BLOCK_SIZE,
+    dtype=np.int8,
+) -> np.ndarray:
+    """Random ``(rows, width)`` tensor: per-block NNZ cap + element density.
+
+    Blocks run along the last axis; ``width`` need not be a multiple of
+    ``block_size`` (the ragged tail block simply has fewer candidate
+    positions). Every block holds at most ``nnz_cap`` non-zeros, and the
+    expected element density over the valid ``rows * width`` region equals
+    ``density`` (randomized rounding of each block's real-valued target,
+    clipped to the cap — exact when ``density <= nnz_cap / block_size``).
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    if not 1 <= nnz_cap <= block_size:
+        raise ValueError(
+            f"nnz_cap must be in [1, {block_size}], got {nnz_cap}")
+    kb = -(-width // block_size)
+    padded = kb * block_size
+    # Valid (non-padding) positions per block along one row.
+    valid = np.full(kb, block_size, dtype=np.int64)
+    tail = width - (kb - 1) * block_size
+    valid[-1] = tail
+    valid = np.broadcast_to(valid, (rows, kb)).reshape(-1)
+    # Randomized rounding of the per-block target nnz, capped.
+    target = density * valid
+    base = np.floor(target)
+    nnz = (base + (rng.random(valid.size) < (target - base))).astype(np.int64)
+    nnz = np.minimum(nnz, np.minimum(nnz_cap, valid))
+    # Choose nnz[b] positions per block among its valid ones: rank random
+    # keys per block (invalid positions get +inf) and keep the smallest.
+    keys = rng.random((valid.size, block_size), dtype=np.float32)
+    keys[np.arange(block_size)[None, :] >= valid[:, None]] = np.inf
+    order = np.argsort(keys, axis=1)
+    chosen = np.arange(block_size, dtype=np.int64)[None, :] < nnz[:, None]
+    mask = np.zeros_like(chosen)
+    np.put_along_axis(mask, order, chosen, axis=1)
+    magnitude = rng.integers(1, 128, size=mask.shape, dtype=np.int16)
+    sign = rng.integers(0, 2, size=mask.shape, dtype=np.int16) * 2 - 1
+    out = np.where(mask, magnitude * sign, 0).astype(dtype)
+    return out.reshape(rows, padded)[:, :width]
+
+
+def spec_operands(
+    layer: LayerSpec,
+    seed: int = 0,
+    dtype=np.int8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Synthesize ``(A, W)`` INT8 operands for one analytic layer spec.
+
+    ``A`` is ``(m, k)`` with blocks along ``k`` capped at ``a_nnz``;
+    ``W`` is ``(k, n)`` whose transpose is W-DBB compliant at ``w_nnz``
+    (i.e. compressible by the hardware's static weight path). Densities
+    match ``layer.a_density`` / ``layer.w_density`` in expectation.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, layer.m, layer.k, layer.n,
+                                layer.w_nnz, layer.a_nnz]))
+    w = blocked_density_operand(
+        layer.n, layer.k, layer.w_nnz, min(layer.w_density, 1.0),
+        rng, dtype=dtype).T
+    a = blocked_density_operand(
+        layer.m, layer.k, layer.a_nnz, min(layer.a_density, 1.0),
+        rng, dtype=dtype)
+    return a, w
+
+
+class OperandCache:
+    """Byte-budget LRU memo for synthesized layer operands.
+
+    Keys on the fields that determine the generated tensors (GEMM shape,
+    DBB bounds, densities, seed); evicts least-recently-used entries once
+    the resident operand bytes exceed ``max_bytes``. Entries larger than
+    the whole budget are synthesized but never retained. Cached arrays
+    are marked read-only — they are shared across accelerator variants.
+    """
+
+    def __init__(self, max_bytes: int = 512 * 1024 * 1024):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" \
+            = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _key(layer: LayerSpec, seed: int) -> tuple:
+        return (layer.m, layer.k, layer.n, layer.w_nnz, layer.a_nnz,
+                round(layer.w_density, 6), round(layer.a_density, 6), seed)
+
+    def get(self, layer: LayerSpec, seed: int = 0
+            ) -> Tuple[np.ndarray, np.ndarray]:
+        key = self._key(layer, seed)
+        hit = self._entries.get(key)
+        if hit is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return hit
+        self.misses += 1
+        a, w = spec_operands(layer, seed=seed)
+        a.setflags(write=False)
+        w.setflags(write=False)
+        item_bytes = a.nbytes + w.nbytes
+        if item_bytes <= self.max_bytes:
+            self._entries[key] = (a, w)
+            self.current_bytes += item_bytes
+            while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+                _, (ea, ew) = self._entries.popitem(last=False)
+                self.current_bytes -= ea.nbytes + ew.nbytes
+                self.evictions += 1
+        return a, w
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_DEFAULT_CACHE = OperandCache()
+
+
+def default_operand_cache() -> OperandCache:
+    """The process-wide operand cache shared by the functional runners."""
+    return _DEFAULT_CACHE
+
+
+def operands_for_layer(
+    layer: LayerSpec,
+    seed: int = 0,
+    cache: Optional[OperandCache] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Memoized ``(A, W)`` operands for one layer (read-only arrays)."""
+    cache = _DEFAULT_CACHE if cache is None else cache
+    return cache.get(layer, seed=seed)

@@ -125,7 +125,13 @@ class TestGemmEquivalence:
 
 
 def _reference_wdbb_result(config: SystolicConfig, a, w):
-    """The seed implementation of ``_run_wdbb``, event for event."""
+    """Per-block reference for ``_run_wdbb``, event for event.
+
+    Tracks the analytic-model-aligned event accounting (operand reuse at
+    half the C-way, accumulator gating on miss) introduced with the
+    functional full-model pipeline; the fired-MAC count still comes from
+    the frozen naive per-block walk.
+    """
     spec = config.w_spec
     m, k = a.shape
     n = w.shape[1]
@@ -146,9 +152,11 @@ def _reference_wdbb_result(config: SystolicConfig, a, w):
     a_hops_bytes = tiles_n * config.cols * m * k
     w_hops_bytes = (tiles_m * config.rows * n * k_blocks
                     * (spec.max_nnz + int(spec.mask_bytes())))
-    events.operand_reg_ops = (a_hops_bytes // config.tpe_c
+    events.operand_reg_ops = (a_hops_bytes // max(1, config.tpe_c // 2)
                               + w_hops_bytes // config.tpe_a)
-    events.acc_reg_ops = m * n * k_blocks
+    acc_slots = m * n * k_blocks
+    events.acc_reg_ops = min(acc_slots, fired)
+    events.gated_acc_reg_ops = acc_slots - events.acc_reg_ops
     w_bytes_per_pass = n * k_blocks * math.ceil(spec.compressed_block_bytes(1))
     events.sram_a_read_bytes += m * k * tiles_n
     events.sram_w_read_bytes += w_bytes_per_pass * tiles_m
@@ -158,7 +166,12 @@ def _reference_wdbb_result(config: SystolicConfig, a, w):
 
 
 def _reference_awdbb_result(config: SystolicConfig, a, w, a_nnz):
-    """The seed implementation of ``_run_awdbb``, event for event."""
+    """Per-block reference for ``_run_awdbb``, event for event.
+
+    Tracks the analytic-model-aligned event accounting (mux-width cap on
+    activation broadcast reuse, accumulator gating on miss, uncompressed
+    dense-bypass blocks); fired MACs come from the frozen naive walk.
+    """
     w_spec = config.w_spec
     a_spec = config.a_spec
     nnz_a = a_spec.max_nnz if a_nnz is None else a_nnz
@@ -190,18 +203,25 @@ def _reference_awdbb_result(config: SystolicConfig, a, w, a_nnz):
     events.mac_ops = fired
     events.gated_mac_ops = slots - fired
     events.mux_ops = m * n * k_blocks * steps_per_block
-    a_block_bytes = steps_per_block + int(a_spec.mask_bytes())
+    if steps_per_block < bz:
+        a_block_bytes = steps_per_block + int(a_spec.mask_bytes())
+    else:
+        a_block_bytes = bz
     w_block_bytes = w_spec.max_nnz + int(w_spec.mask_bytes())
     a_hops_bytes = tiles_n * config.cols * m * k_blocks * a_block_bytes
     w_hops_bytes = tiles_m * config.rows * n * k_blocks * w_block_bytes
-    events.operand_reg_ops = (a_hops_bytes // config.tpe_c
+    a_reuse = max(1, min(config.tpe_c, w_spec.max_nnz))
+    events.operand_reg_ops = (a_hops_bytes // a_reuse
                               + w_hops_bytes // config.tpe_a)
-    events.acc_reg_ops = m * n * k_blocks * steps_per_block
+    acc_slots = m * n * k_blocks * steps_per_block
+    events.acc_reg_ops = min(acc_slots, fired)
+    events.gated_acc_reg_ops = acc_slots - events.acc_reg_ops
     if nnz_a < bz:
         events.dap_compare_ops = m * k_blocks * (bz - 1) * nnz_a
     events.sram_a_read_bytes += m * k_blocks * a_block_bytes * tiles_n
     events.sram_w_read_bytes += n * k_blocks * w_block_bytes * tiles_m
-    events.sram_a_write_bytes += m * n
+    # Activations write back through the DAP port in compressed form.
+    events.sram_a_write_bytes += m * k_blocks * a_block_bytes
     events.mcu_elementwise_ops += m * n
     return dense_gemm(a_pruned, w), cycles, events
 

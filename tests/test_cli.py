@@ -51,6 +51,24 @@ class TestExperiment:
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
 
+    @pytest.mark.functional
+    def test_fig12_functional_quick(self):
+        out = main(["experiment", "fig12", "--functional", "--quick"])
+        assert "functional simulation" in out
+        assert "quick mode" in out
+
+    def test_functional_flag_rejected_for_non_full_model_artifacts(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig1", "--functional"])
+        with pytest.raises(SystemExit):
+            main(["experiment", "all", "--quick"])
+
+    @pytest.mark.functional
+    def test_xval_artifact(self):
+        out = main(["experiment", "xval", "--seed", "1"])
+        assert "Analytic vs functional" in out
+        assert "worst |delta|" in out
+
 
 class TestSweep:
     def test_sweep(self):

@@ -1,0 +1,76 @@
+"""Golden pins of the analytic headline numbers (Fig. 11 / Fig. 12).
+
+The functional-simulation migration turned the analytic models into the
+*fast path*; these pins freeze the published analytic headline ratios to
+two decimals so that refactors of either tier cannot silently shift the
+numbers the reproduction reports against the paper. If a change moves
+one of these on purpose (e.g. a calibration fix), update the pin in the
+same commit and say why in its message.
+"""
+
+import pytest
+
+from repro.eval import fig11_full_models, fig12_alexnet_per_layer
+
+# Fig. 11 analytic S2TA-AW columns: (energy x, speedup x) vs SA-ZVCG.
+FIG11_AW_GOLDEN = {
+    "resnet50": (2.19, 2.28),
+    "vgg16": (2.29, 2.58),
+    "mobilenet_v1": (1.84, 1.62),
+    "alexnet": (2.03, 2.09),
+    "average": (2.09, 2.14),
+}
+
+# Fig. 12 analytic totals (uJ, 1 decimal) and headline ratios.
+FIG12_TOTALS_GOLDEN = {
+    "Eyeriss v2 (65nm)": 1519.4,
+    "SparTen (45nm)": 1013.3,
+    "SA-ZVCG (65nm)": 842.8,
+    "S2TA-W (65nm)": 560.3,
+    "S2TA-AW (65nm)": 414.7,
+}
+FIG12_SPARTEN_OVER_AW = 2.44
+FIG12_EYERISS_OVER_AW = 3.66
+
+
+class TestFig11Golden:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_full_models()
+
+    @pytest.mark.parametrize("model", sorted(FIG11_AW_GOLDEN))
+    def test_aw_columns_pinned(self, result, model):
+        energy_x, speedup_x = FIG11_AW_GOLDEN[model]
+        row = result.row(model)
+        assert row[5] == pytest.approx(energy_x, abs=0.005), \
+            f"{model} S2TA-AW energy-x moved from the golden {energy_x}"
+        assert row[6] == pytest.approx(speedup_x, abs=0.005), \
+            f"{model} S2TA-AW speedup-x moved from the golden {speedup_x}"
+
+    def test_average_tracks_paper(self, result):
+        # Sanity on top of the pin: the golden values themselves must
+        # stay inside the paper's published envelope.
+        avg = result.row("average")
+        assert avg[5] == pytest.approx(2.08, abs=0.35)
+        assert avg[6] == pytest.approx(2.11, abs=0.35)
+
+
+class TestFig12Golden:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_alexnet_per_layer()
+
+    @pytest.mark.parametrize("accel", sorted(FIG12_TOTALS_GOLDEN))
+    def test_totals_pinned(self, result, accel):
+        row = result.row(accel)
+        assert row[-1] == pytest.approx(FIG12_TOTALS_GOLDEN[accel],
+                                        abs=0.05), \
+            f"{accel} total energy moved from the golden value"
+
+    def test_headline_ratios_pinned(self, result):
+        totals = {row[0]: row[-1] for row in result.rows}
+        aw = totals["S2TA-AW (65nm)"]
+        assert round(totals["SparTen (45nm)"] / aw, 2) \
+            == FIG12_SPARTEN_OVER_AW
+        assert round(totals["Eyeriss v2 (65nm)"] / aw, 2) \
+            == FIG12_EYERISS_OVER_AW
