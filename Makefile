@@ -1,0 +1,40 @@
+# Two test tiers (see pytest.ini and ROADMAP.md):
+#
+#   make verify   - tier 1: the full default suite minus `slow`-marked
+#                   full-size functional runs; stays under a minute and
+#                   is what every PR must keep green.
+#   make nightly  - tier 2: the `slow` tier plus every benchmarks/
+#                   bench_*.py artifact run, recording a timestamped
+#                   BENCH_<utc>.json, then diffing the newest two BENCH
+#                   files and failing on >10% throughput regression.
+#
+#   make bench    - just the benchmark sweep + regression check.
+#   make check    - just the regression diff of existing BENCH files.
+
+PY         := PYTHONPATH=src python
+STAMP      := $(shell date -u +%Y%m%dT%H%M%SZ)
+BENCH_JSON := BENCH_$(STAMP).json
+
+.PHONY: verify nightly bench check
+
+verify:
+	$(PY) -m pytest -x -q
+
+nightly:
+	$(PY) -m pytest -q -m slow
+	$(MAKE) bench
+
+# pytest-benchmark writes its JSON even when assertions fail; stage it
+# under a .tmp name (outside the BENCH_*.json glob) and promote it to a
+# comparison baseline only after BOTH the benchmark run and the
+# regression check are green — a red or regressed nightly must not
+# become the baseline that masks its own regression.
+bench:
+	rm -f BENCH_*.json.tmp
+	$(PY) -m pytest -q benchmarks/bench_*.py \
+		--benchmark-json=$(BENCH_JSON).tmp
+	$(PY) tools/check_bench_regression.py --candidate $(BENCH_JSON).tmp
+	mv $(BENCH_JSON).tmp $(BENCH_JSON)
+
+check:
+	$(PY) tools/check_bench_regression.py

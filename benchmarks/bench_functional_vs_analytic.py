@@ -4,9 +4,10 @@ Runs every AlexNet conv layer on both fidelity tiers for all five
 systolic-family accelerators and reports the per-layer deltas in cycles,
 fired MACs and energy. The saved table is the evidence that the analytic
 fast path tracks the functional ground truth; the assertions freeze the
-agreement contract (SRAM bytes and MAC slots exact, fired MACs within a
-fraction of a percent, energy within a few percent, cycles within the
-tile fill/drain skew the analytic model pipelines away).
+agreement contract (SRAM bytes, MAC slots and per-operand-class DRAM
+bytes exact, fired MACs within a fraction of a percent, energy within a
+few percent, cycles bit-equal for the systolic modes — SMT's queueing
+post-pass keeps a small statistical cycle delta).
 """
 
 from repro.eval import fig11_full_models, xval_functional_vs_analytic
@@ -14,26 +15,31 @@ from repro.eval import fig11_full_models, xval_functional_vs_analytic
 # Agreement contract (relative |delta| bounds, functional as reference).
 FIRED_TOL = 0.01
 ENERGY_TOL = 0.06
-CYCLES_TOL = 0.25
+SMT_CYCLES_TOL = 0.10  # queueing speedup looked up at measured densities
 
 
 def test_bench_xval_alexnet(benchmark, save_result):
     result = benchmark(xval_functional_vs_analytic, "alexnet")
     save_result(result)
-    worst_cycles = worst_fired = worst_energy = 0.0
-    for name, layer, d_cycles, d_fired, d_energy, sram, slots in result.rows:
+    worst_smt_cycles = worst_fired = worst_energy = 0.0
+    for name, layer, d_cycles, d_fired, d_energy, sram, slots, dram, cyc \
+            in result.rows:
         assert sram == "yes", f"{name}/{layer}: SRAM bytes diverged"
-        if not name.startswith("SMT"):  # SMT slots derive from cycles
+        assert dram == "yes", f"{name}/{layer}: DRAM bytes diverged"
+        if name.startswith("SMT"):  # SMT slots/cycles are queueing-derived
+            worst_smt_cycles = max(worst_smt_cycles, abs(d_cycles) / 100)
+        else:
             assert slots == "yes", f"{name}/{layer}: MAC slots diverged"
-        worst_cycles = max(worst_cycles, abs(d_cycles) / 100)
+            # unified skew convention: bit-equal, not just within rounding
+            assert cyc == "yes", f"{name}/{layer}: cycle models diverged"
         worst_fired = max(worst_fired, abs(d_fired) / 100)
         worst_energy = max(worst_energy, abs(d_energy) / 100)
-    benchmark.extra_info["worst_cycles_delta"] = worst_cycles
+    benchmark.extra_info["worst_smt_cycles_delta"] = worst_smt_cycles
     benchmark.extra_info["worst_fired_delta"] = worst_fired
     benchmark.extra_info["worst_energy_delta"] = worst_energy
     assert worst_fired < FIRED_TOL
     assert worst_energy < ENERGY_TOL
-    assert worst_cycles < CYCLES_TOL
+    assert worst_smt_cycles < SMT_CYCLES_TOL
 
 
 def test_bench_fig11_functional(benchmark, save_result):

@@ -19,10 +19,16 @@ either of two fidelity tiers:
   contract: SRAM bytes and MAC slots exact, fired MACs and energy within
   a few percent).
 
-In both tiers the base class applies the memory-bound cap for
-FC/depthwise layers (Sec. 8.3), prices events through the
-:class:`~repro.energy.model.EnergyModel`, and aggregates whole-network
-runs.
+In both tiers the base class runs the layer through the
+memory-hierarchy model (:mod:`repro.arch.memory`): every layer gets an
+exact per-operand-class DRAM profile and a fill-bandwidth bound, and
+``cycles = max(compute, memory)``. At the default channel (32 B/cycle,
+no row stalls) this reproduces the old flat DMA cap as a special case —
+conv layers stay compute bound and FC/depthwise layers hit the Sec. 8.3
+streaming floor — while making DRAM bandwidth a sweepable axis. Events
+price through the :class:`~repro.energy.model.EnergyModel` (off-chip
+bytes as the separate ``dram`` component) and aggregate into
+whole-network runs.
 """
 
 from __future__ import annotations
@@ -32,16 +38,21 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 from repro.arch.events import EventCounts
+from repro.arch.memory import (
+    DRAMConfig,
+    LayerMemoryProfile,
+    LayerTraffic,
+    MemorySystem,
+    OperandStream,
+    SRAMStaging,
+    window_duplication,
+)
 from repro.energy.costs import DEFAULT_COSTS, CostModel
 from repro.energy.model import AreaModel, EnergyBreakdown, EnergyModel
 from repro.energy.tech import get_tech
 from repro.models.specs import BLOCK_SIZE, LayerSpec, ModelSpec
 
 __all__ = ["LayerResult", "AccelRunResult", "AcceleratorModel"]
-
-# Software-managed SRAM fill bandwidth available to stream operands that
-# do not fit on chip (weights of FC layers, mainly). Bytes per cycle.
-DMA_BYTES_PER_CYCLE = 32
 
 
 @dataclass
@@ -53,6 +64,7 @@ class LayerResult:
     memory_cycles: int
     events: EventCounts
     breakdown: EnergyBreakdown
+    memory: Optional[LayerMemoryProfile] = None
 
     @property
     def cycles(self) -> int:
@@ -139,43 +151,135 @@ class AcceleratorModel:
     sram_mb = 2.5
     mcus = 4
     has_dap = False
+    #: Staging-buffer split of ``sram_mb`` (S2TA: 512 KB WB + 2 MB AB,
+    #: Sec. 6.3 — a 0.2 / 0.8 split the other designs inherit pro rata).
+    wb_fraction = 0.2
 
-    def __init__(self, tech: str = "16nm", costs: CostModel = DEFAULT_COSTS):
+    def __init__(self, tech: str = "16nm", costs: CostModel = DEFAULT_COSTS,
+                 dram: Optional[DRAMConfig] = None,
+                 dram_gbps: Optional[float] = None):
         self.tech = tech
         self.costs = costs
         self.energy_model = EnergyModel(tech=tech, costs=costs)
         self.clock_ghz = get_tech(tech).clock_ghz
+        if dram is not None and dram_gbps is not None:
+            raise ValueError("pass either dram= or dram_gbps=, not both")
+        self._dram = dram
+        self._dram_gbps = dram_gbps
+        self._memory: Optional[MemorySystem] = None
 
     # -------------------------------------------------------------- #
+
+    @property
+    def memory(self) -> MemorySystem:
+        """The memory hierarchy at this design point.
+
+        Built lazily so ``dram_gbps`` converts against the accelerator's
+        *final* clock (some models override the node's nominal clock
+        after construction, e.g. Eyeriss v2's 200 MHz).
+        """
+        if self._memory is None:
+            dram = self._dram
+            if dram is None:
+                if self._dram_gbps is not None:
+                    dram = DRAMConfig.from_bandwidth(self._dram_gbps,
+                                                     self.clock_ghz)
+                else:
+                    dram = DRAMConfig()
+            sram_bytes = int(self.sram_mb * 1024 * 1024)
+            wb = max(1, int(sram_bytes * self.wb_fraction))
+            self._memory = MemorySystem(
+                dram=dram,
+                sram=SRAMStaging(wb_bytes=wb, ab_bytes=sram_bytes - wb),
+            )
+        return self._memory
 
     def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
         """Return (compute_cycles, events) for one layer. Subclass hook."""
         raise NotImplementedError
 
-    def _memory_cycles(self, layer: LayerSpec) -> int:
-        """Operand streaming floor for memory-bound layer kinds.
-
-        Inference (batch 1) gives FC weights zero reuse and depthwise
-        layers almost no reduction, so the DMA/SRAM fill bandwidth caps
-        throughput identically across all SA variants (Sec. 8.3).
-        """
-        if not layer.memory_bound:
-            return 0
-        stream_bytes = self._weight_stream_bytes(layer) + layer.m * layer.k
-        return math.ceil(stream_bytes / DMA_BYTES_PER_CYCLE)
-
-    def _weight_stream_bytes(self, layer: LayerSpec) -> int:
-        """Weight bytes streamed once (dense by default; DBB overrides)."""
-        return layer.weight_bytes
-
+    # -------------------------------------------------------------- #
+    # Memory-hierarchy bridge (shared by both fidelity tiers)
     # -------------------------------------------------------------- #
 
-    def run_layer(self, layer: LayerSpec) -> LayerResult:
-        compute_cycles, events = self._layer_events(layer)
-        memory_cycles = self._memory_cycles(layer)
+    def _tile_geometry(self, layer: LayerSpec) -> Tuple[int, int]:
+        """Output-stationary tile counts ``(tiles_m, tiles_n)``.
+
+        Systolic models expose ``eff_rows``/``eff_cols`` (scalar arrays:
+        the array dims; TPE arrays: dims times the TPE outer product).
+        Models without an output-stationary tiling (the outer-product
+        comparison points) fall back to a single tile — they override
+        :meth:`layer_traffic` wholesale anyway.
+        """
+        rows = getattr(self, "eff_rows", None)
+        cols = getattr(self, "eff_cols", None)
+        if rows and cols:
+            return math.ceil(layer.m / rows), math.ceil(layer.n / cols)
+        return 1, 1
+
+    def _dram_block_layout(
+        self, layer: LayerSpec,
+    ) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Per-block ``(payload, mask)`` byte layout of (weights, acts).
+
+        Splits each operand's DRAM stream into data versus DBB-metadata
+        bytes; dense operands carry no sideband.
+        """
+        return (BLOCK_SIZE, 0), (BLOCK_SIZE, 0)
+
+    def layer_traffic(self, layer: LayerSpec,
+                      events: EventCounts) -> LayerTraffic:
+        """One layer's DRAM streams, derived from its SRAM traffic.
+
+        Both fidelity tiers route through this: the analytic tier passes
+        its closed-form event counts, the functional tier the *measured*
+        ones — and because the per-pass SRAM byte counters are exact
+        across tiers (the cross-validation contract), the DRAM bytes are
+        exact across tiers too. The activation stream divides by the
+        im2col window duplication (DRAM holds the compact feature map;
+        the AB address generators expand it on the fly).
+        """
+        tiles_m, tiles_n = self._tile_geometry(layer)
+        w_pass = events.sram_w_read_bytes // tiles_m
+        a_pass = -(-events.sram_a_read_bytes // tiles_n
+                   // window_duplication(layer))
+        (w_pay, w_mask), (a_pay, a_mask) = self._dram_block_layout(layer)
+        w_meta = (w_pass * w_mask) // (w_pay + w_mask)
+        a_meta = (a_pass * a_mask) // (a_pay + a_mask)
+        return LayerTraffic(
+            weights=OperandStream(w_pass - w_meta, w_meta, passes=tiles_m),
+            acts=OperandStream(a_pass - a_meta, a_meta, passes=tiles_n),
+            out_bytes=layer.m * layer.n,
+            tiles_m=tiles_m,
+            tiles_n=tiles_n,
+            # Output-stationary: partial sums live in the PE accumulators
+            # while operands *stream* through the staging halves, so the
+            # reduction never splits along K and no psums spill (the
+            # psum traffic class stays available for other dataflows).
+            k_strip_bytes=0,
+        )
+
+    def _finalize_layer(self, layer: LayerSpec, compute_cycles: int,
+                        events: EventCounts) -> LayerResult:
+        """Shared tail of both tiers: memory profile, cap, pricing."""
+        profile = self.memory.profile(
+            self.layer_traffic(layer, events), compute_cycles,
+            name=layer.name)
+        # The enforced cap: under the paper's evaluation semantics
+        # (``cap_streaming_only``, the default) conv layers are assumed
+        # staged ahead of compute and only the Sec. 8.3 zero-reuse
+        # streams (FC weights, depthwise windows) hit the fill wall —
+        # the old flat DMA cap as a special case. The profile always
+        # carries the honest fill time for the roofline artifacts.
+        if self.memory.dram.cap_streaming_only and not layer.memory_bound:
+            memory_cycles = 0
+        else:
+            memory_cycles = profile.memory_cycles
         # The MCU-cluster background burns for the full (possibly
         # memory-stalled) duration.
         events.cycles = max(compute_cycles, memory_cycles)
+        events.dram_read_bytes = profile.dram_read_bytes
+        events.dram_write_bytes = profile.dram_write_bytes
         breakdown = self.energy_model.breakdown(events)
         return LayerResult(
             layer=layer,
@@ -183,7 +287,14 @@ class AcceleratorModel:
             memory_cycles=memory_cycles,
             events=events,
             breakdown=breakdown,
+            memory=profile,
         )
+
+    # -------------------------------------------------------------- #
+
+    def run_layer(self, layer: LayerSpec) -> LayerResult:
+        compute_cycles, events = self._layer_events(layer)
+        return self._finalize_layer(layer, compute_cycles, events)
 
     def run_model(self, spec: ModelSpec, conv_only: bool = False
                   ) -> AccelRunResult:
@@ -265,16 +376,14 @@ class AcceleratorModel:
             factor = layer.m / sub.m
             events = events.scaled(factor)
             compute_cycles = int(round(compute_cycles * factor))
-        memory_cycles = self._memory_cycles(layer)
-        events.cycles = max(compute_cycles, memory_cycles)
-        breakdown = self.energy_model.breakdown(events)
-        return LayerResult(
-            layer=layer,
-            compute_cycles=compute_cycles,
-            memory_cycles=memory_cycles,
-            events=events,
-            breakdown=breakdown,
-        )
+        # The measured events feed the same memory model as the analytic
+        # tier; on exact runs (max_m=None) the per-pass SRAM counters are
+        # bit-equal across tiers, so the DRAM bytes cross-validate
+        # exactly (asserted in tests/test_cross_validation.py). Quick
+        # runs extrapolate the counters linearly, so their DRAM profile
+        # is the same few-percent approximation as everything else
+        # quick mode reports.
+        return self._finalize_layer(layer, compute_cycles, events)
 
     def run_model_functional(
         self,

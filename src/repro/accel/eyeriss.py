@@ -19,6 +19,7 @@ from typing import Tuple
 
 from repro.accel.base import AcceleratorModel
 from repro.arch.events import EventCounts
+from repro.arch.memory import LayerTraffic, compressed_stream_traffic
 from repro.models.specs import LayerSpec
 
 __all__ = ["EyerissV2"]
@@ -42,7 +43,16 @@ class EyerissV2(AcceleratorModel):
     def __init__(self, tech: str = "65nm", **kwargs):
         super().__init__(tech=tech, **kwargs)
         # Eyeriss v2's published clock, below the node's nominal rate.
+        # (The memory system builds lazily, so a dram_gbps spec converts
+        # against this clock, not the node's nominal one.)
         self.clock_ghz = 0.2
+
+    def layer_traffic(self, layer: LayerSpec, events: EventCounts
+                      ) -> LayerTraffic:
+        """CSC-compressed streams (non-zeros + ~1-bit-per-element column
+        encoding as metadata); the small 246 KB storage forces extra
+        activation refills on large layers (row-stationary tiling)."""
+        return compressed_stream_traffic(layer, group_cols=64, pass_cap=6)
 
     def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
         useful = max(1, round(layer.macs * layer.w_density * layer.a_density))

@@ -100,6 +100,13 @@ class S2TAW(AcceleratorModel):
         kb = math.ceil(layer.k / BLOCK_SIZE)
         return layer.n * kb * self._w_block_bytes(layer)
 
+    def _dram_block_layout(self, layer: LayerSpec):
+        """Compressed weight blocks carry a 1-byte positional mask
+        (DBB metadata on the DRAM bus); activations stream dense."""
+        if layer.w_nnz <= self.datapath_nnz:
+            return (self.datapath_nnz, _MASK_BYTES), (BLOCK_SIZE, 0)
+        return (BLOCK_SIZE, 0), (BLOCK_SIZE, 0)
+
     def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
         kb = math.ceil(layer.k / BLOCK_SIZE)
         passes = self._w_passes(layer)
@@ -225,6 +232,16 @@ class S2TAAW(AcceleratorModel):
     def _weight_stream_bytes(self, layer: LayerSpec) -> int:
         kb = math.ceil(layer.k / BLOCK_SIZE)
         return layer.n * kb * self._w_block_bytes(layer)
+
+    def _dram_block_layout(self, layer: LayerSpec):
+        """Both operands stream in compressed block form (payload +
+        1-byte mask) unless the layer runs the dense fallback/bypass."""
+        steps = self._steps(layer)
+        w_layout = ((self.w_nnz_hw, _MASK_BYTES)
+                    if layer.w_nnz <= self.w_nnz_hw else (BLOCK_SIZE, 0))
+        a_layout = ((steps, _MASK_BYTES)
+                    if steps < BLOCK_SIZE else (BLOCK_SIZE, 0))
+        return w_layout, a_layout
 
     def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
         kb = math.ceil(layer.k / BLOCK_SIZE)
@@ -366,6 +383,14 @@ class S2TAWA(AcceleratorModel):
     def _weight_stream_bytes(self, layer: LayerSpec) -> int:
         kb = math.ceil(layer.k / BLOCK_SIZE)
         return layer.n * kb * self._w_block_bytes(layer)
+
+    def _dram_block_layout(self, layer: LayerSpec):
+        """Serialized weights and fixed-4/8 activations both stream
+        compressed (payload + mask) on the DRAM bus."""
+        steps = self._steps(layer)
+        w_layout = ((steps, _MASK_BYTES) if steps < BLOCK_SIZE
+                    else (BLOCK_SIZE, 0))
+        return w_layout, (self.a_nnz_hw, _MASK_BYTES)
 
     def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
         kb = math.ceil(layer.k / BLOCK_SIZE)

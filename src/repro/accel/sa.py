@@ -20,13 +20,27 @@ __all__ = ["DenseSA", "ZvcgSA"]
 
 
 class DenseSA(AcceleratorModel):
-    """Dense 32x64 scalar-PE systolic array (no sparsity support)."""
+    """Dense 32x64 scalar-PE systolic array (no sparsity support).
+
+    Memory side: both operands stream uncompressed (the base class's
+    dense DRAM block layout), tiled ``rows x cols`` output-stationary —
+    the scalar array is the degenerate 1x1 TPE, so the effective tile
+    equals the array dims.
+    """
 
     name = "SA"
     rows = 32
     cols = 64
     hardware_macs = 2048
     buffer_bytes_per_mac = 6.0  # 2 B operands + 4 B accumulator (Table 1)
+
+    @property
+    def eff_rows(self) -> int:
+        return self.rows
+
+    @property
+    def eff_cols(self) -> int:
+        return self.cols
 
     @property
     def skew(self) -> int:

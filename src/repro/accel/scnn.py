@@ -21,6 +21,7 @@ from typing import Tuple
 
 from repro.accel.base import AcceleratorModel
 from repro.arch.events import EventCounts
+from repro.arch.memory import LayerTraffic, compressed_stream_traffic
 from repro.models.specs import LayerSpec
 
 __all__ = ["SCNN"]
@@ -39,6 +40,16 @@ class SCNN(AcceleratorModel):
     # 1.65 KB/MAC buffer hierarchy costs more per access than SparTen's
     # (which the paper credits with "superior results to SCNN").
     scatter_ops_per_product = 3
+
+    def layer_traffic(self, layer: LayerSpec, events: EventCounts
+                      ) -> LayerTraffic:
+        """CSR-style compressed streams: 1 coordinate byte per stored
+        non-zero (the DBB-metadata analogue). The planar dataflow is not
+        output-stationary-tiled, so the closed form replaces the base
+        derivation; activations re-stream per output-channel group when
+        they do not stay resident."""
+        return compressed_stream_traffic(layer, group_cols=64, pass_cap=8,
+                                         coordinate_meta=True)
 
     def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
         useful = max(1, round(layer.macs * layer.w_density * layer.a_density))

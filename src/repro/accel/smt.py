@@ -5,6 +5,12 @@ the queueing simulation in :mod:`repro.arch.smt` (memoized per density
 point); the energy cost adds two FIFO events per useful MAC — the
 overhead that makes SMT *less* energy-efficient than SA-ZVCG despite its
 speedup (Fig. 3, Fig. 10).
+
+Memory side: the staging FIFOs reorder work *inside* the array — the
+operand streams are the dense ZVCG ones, so the DRAM traffic profile is
+inherited unchanged from :class:`~repro.accel.sa.ZvcgSA`. The speedup
+does lower the compute side of the roofline, which is why SMT hits the
+memory wall at a higher DRAM bandwidth than the dense baseline.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ from typing import Tuple
 
 from repro.accel.base import AcceleratorModel
 from repro.arch.events import EventCounts
+from repro.arch.memory import LayerTraffic, compressed_stream_traffic
 from repro.models.specs import LayerSpec
 
 __all__ = ["SparTen"]
@@ -41,6 +42,15 @@ class SparTen(AcceleratorModel):
 
     def __init__(self, tech: str = "45nm", **kwargs):
         super().__init__(tech=tech, **kwargs)
+
+    def layer_traffic(self, layer: LayerSpec, events: EventCounts
+                      ) -> LayerTraffic:
+        """Bitmask-compressed streams: non-zero bytes plus a 1-bit-per-
+        element occupancy mask (the metadata class). The tiny PE count
+        forces activation re-streams across the output tiling when the
+        working set overflows the 0.5 MB of on-chip storage."""
+        return compressed_stream_traffic(
+            layer, group_cols=self.hardware_macs, pass_cap=8)
 
     def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
         useful = max(1, round(layer.macs * layer.w_density * layer.a_density))

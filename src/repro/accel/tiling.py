@@ -8,9 +8,12 @@ off-chip (DMA) traffic when they do not fit — e.g. VGG-16's fc6 weights
 (~98 MB dense) stream from DRAM every inference, which is why FC layers
 are memory bound at batch 1 (Sec. 8.3).
 
-This is analysis tooling on top of the PPA models: the accelerator
-energy model charges SRAM events (calibrated to the paper); DRAM energy
-is outside the paper's scope and reported here as traffic bytes only.
+This is *capacity* analysis tooling on top of the PPA models; the
+timing and energy of the off-chip traffic it quantifies live in the
+memory-hierarchy subsystem (:mod:`repro.arch.memory`), which every
+accelerator model now runs per layer (per-operand-class DRAM bytes,
+fill-bandwidth caps, roofline placement — see
+``repro experiment roofline``).
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.arch.memory import window_duplication
 from repro.models.specs import BLOCK_SIZE, LayerSpec, ModelSpec
 
 __all__ = ["TilingAnalysis", "analyze_layer", "analyze_model",
@@ -55,23 +59,11 @@ def _compressed_weight_bytes(layer: LayerSpec) -> int:
     return layer.n * layer.k
 
 
-def _window_duplication(layer: LayerSpec) -> int:
-    """Estimated im2col duplication factor (KH*KW) of the layer.
-
-    The AB stores the underlying feature map; the im2col expansion is
-    produced on the fly by the address generators. LayerSpec carries the
-    lowered K = KH*KW*C, so the window size is recovered from the
-    largest square-kernel divisor — exact for the model zoo's 11x11,
-    7x7, 5x5, 3x3 and 1x1 layers.
-    """
-    for window in (121, 49, 25, 9):
-        if layer.k % window == 0 and layer.k // window >= 1:
-            return window
-    return 1
-
-
 def _compressed_act_bytes(layer: LayerSpec) -> int:
-    footprint_k = layer.k // _window_duplication(layer)
+    # The AB stores the underlying feature map; the im2col expansion is
+    # produced on the fly by the address generators (shared convention
+    # with the DRAM traffic model in repro.arch.memory).
+    footprint_k = layer.k // window_duplication(layer, streaming=False)
     kb = math.ceil(footprint_k / BLOCK_SIZE)
     if layer.a_nnz < BLOCK_SIZE:
         return layer.m * kb * (layer.a_nnz + 1)

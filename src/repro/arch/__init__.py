@@ -13,6 +13,9 @@ Cycle-level functional models of the paper's hardware building blocks:
 - :mod:`repro.arch.smt`: the SA-SMT staging-FIFO queueing simulator.
 - :mod:`repro.arch.systolic`: output-stationary systolic array simulator
   for the scalar-PE baselines and the S2TA tensor-PE variants.
+- :mod:`repro.arch.memory`: the memory hierarchy — DRAM channel,
+  double-buffered SRAM staging, and the tile-schedule DMA walker behind
+  the roofline artifacts.
 """
 
 from repro.arch.buffers import FIFO, RegisterFile, Sram
@@ -24,6 +27,14 @@ from repro.arch.datapath import (
     dp8_dense,
 )
 from repro.arch.events import EventCounts
+from repro.arch.memory import (
+    DRAMConfig,
+    LayerMemoryProfile,
+    LayerTraffic,
+    MemorySystem,
+    OperandStream,
+    SRAMStaging,
+)
 from repro.arch.netsim import NetworkSimResult, simulate_network
 from repro.arch.smt import SMTArrayModel, SMTResult
 from repro.arch.systolic import SystolicArray, SystolicConfig, SystolicResult
@@ -31,6 +42,12 @@ from repro.arch.tpe import TensorPE
 
 __all__ = [
     "EventCounts",
+    "DRAMConfig",
+    "SRAMStaging",
+    "MemorySystem",
+    "OperandStream",
+    "LayerTraffic",
+    "LayerMemoryProfile",
     "Sram",
     "RegisterFile",
     "FIFO",

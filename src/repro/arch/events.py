@@ -38,6 +38,10 @@ class EventCounts:
     sram_w_read_bytes: int = 0
     sram_a_read_bytes: int = 0
     sram_a_write_bytes: int = 0
+    # Off-chip (DRAM) traffic, from the memory-hierarchy model
+    # (:mod:`repro.arch.memory`): operand fills and result write-back.
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
     # DAP array
     dap_compare_ops: int = 0    # magnitude comparators in the maxpool cascade
     # Non-GEMM work delegated to the MCU cluster (per output element)

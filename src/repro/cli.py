@@ -11,11 +11,15 @@ Usage::
 Every command prints plain text; ``experiment`` accepts any artifact id
 from DESIGN.md's index (fig1, fig3, fig9a..fig9d, fig10, fig11, fig12,
 tbl1..tbl5, sec7, ablation-unroll, ablation-bz, ablation-dap) plus
-``xval`` (the functional-vs-analytic cross-validation table). The
+``xval`` (the functional-vs-analytic cross-validation table),
+``roofline`` (per-layer roofline placement from the memory-hierarchy
+model) and ``roofline-bw`` (the DRAM-bandwidth sensitivity sweep). The
 full-model artifacts (fig11, fig12) take ``--functional`` to run the
 honest functional-simulation tier instead of the analytic fast path,
 ``--quick`` to subsample layers for a fast check, and ``--seed`` for
-operand synthesis.
+operand synthesis; fig11, fig12 and roofline take ``--dram-bw <GB/s>``
+to replace the default DRAM channel and enforce the roofline wall on
+every layer.
 """
 
 from __future__ import annotations
@@ -55,18 +59,23 @@ ACCELERATORS: Dict[str, Callable] = {
 #: (functional=, quick=, seed=).
 FUNCTIONAL_ARTIFACTS = ("fig11", "fig12")
 
+#: Artifacts whose runners take a DRAM-bandwidth override (dram_gbps=).
+DRAM_BW_ARTIFACTS = ("fig11", "fig12", "roofline")
+
 
 def _experiments() -> Dict[str, Callable]:
     from repro.eval import (
         ablation_block_size,
         ablation_dap_stages,
         ablation_unroll_axis,
+        dram_bw_sensitivity,
         fig1_energy_breakdown,
         fig3_smt_overhead,
         fig9_microbench,
         fig10_variant_breakdown,
         fig11_full_models,
         fig12_alexnet_per_layer,
+        roofline_analysis,
         sec7_design_space,
         tbl1_buffer_per_mac,
         tbl2_s2ta_breakdown,
@@ -87,6 +96,8 @@ def _experiments() -> Dict[str, Callable]:
         "fig11": fig11_full_models,
         "fig12": fig12_alexnet_per_layer,
         "xval": xval_functional_vs_analytic,
+        "roofline": roofline_analysis,
+        "roofline-bw": dram_bw_sensitivity,
         "tbl1": tbl1_buffer_per_mac,
         "tbl2": tbl2_s2ta_breakdown,
         "tbl3": lambda: tbl3_accuracy(quick=True),
@@ -152,10 +163,13 @@ def cmd_experiment(args) -> str:
                             or args.seed is not None)
     seed = 0 if args.seed is None else args.seed
     if args.artifact == "all":
-        if functional_requested:
+        if functional_requested or args.dram_bw is not None:
             raise SystemExit(
-                "--functional/--quick/--seed apply to a single artifact "
-                f"({', '.join(FUNCTIONAL_ARTIFACTS)} or xval), not 'all'")
+                "--functional/--quick/--seed/--dram-bw apply to a single "
+                f"artifact, not 'all' ({', '.join(FUNCTIONAL_ARTIFACTS)} "
+                "take the functional flags; "
+                f"{', '.join(DRAM_BW_ARTIFACTS)} take --dram-bw; "
+                "xval takes --seed)")
         return "\n\n".join(run().render()
                            for name, run in experiments.items())
     try:
@@ -165,13 +179,19 @@ def cmd_experiment(args) -> str:
             f"unknown artifact {args.artifact!r}; choose from "
             f"{', '.join(sorted(experiments))} or 'all'"
         )
+    if args.dram_bw is not None and args.artifact not in DRAM_BW_ARTIFACTS:
+        raise SystemExit(
+            f"--dram-bw is only supported by "
+            f"{', '.join(DRAM_BW_ARTIFACTS)}, not {args.artifact!r}")
+    if args.dram_bw is not None and args.dram_bw <= 0:
+        raise SystemExit("--dram-bw must be a positive bandwidth in GB/s")
     if args.artifact in FUNCTIONAL_ARTIFACTS:
         if not args.functional and (args.quick or args.seed is not None):
             raise SystemExit(
                 "--quick/--seed tune the functional tier; pass "
                 "--functional as well")
         return runner(functional=args.functional, quick=args.quick,
-                      seed=seed).render()
+                      seed=seed, dram_gbps=args.dram_bw).render()
     if args.artifact == "xval":
         if args.functional or args.quick:
             raise SystemExit("xval always runs both tiers; it takes "
@@ -182,6 +202,8 @@ def cmd_experiment(args) -> str:
             f"--functional/--quick/--seed are only supported by "
             f"{', '.join(FUNCTIONAL_ARTIFACTS)} and xval, "
             f"not {args.artifact!r}")
+    if args.artifact == "roofline":
+        return runner(dram_gbps=args.dram_bw).render()
     return runner().render()
 
 
@@ -221,6 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="subsample layers for a fast functional check")
     exp.add_argument("--seed", type=int, default=None,
                      help="operand-synthesis seed for the functional tier")
+    exp.add_argument("--dram-bw", type=float, default=None,
+                     metavar="GB/s",
+                     help="DRAM channel bandwidth override (fig11/fig12/"
+                          "roofline); enforces the roofline wall on "
+                          "every layer")
     exp.set_defaults(func=cmd_experiment)
 
     sweep = sub.add_parser("sweep", help="Sec. 7 design-space sweep")

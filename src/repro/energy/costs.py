@@ -55,6 +55,13 @@ class CostModel:
     sram_ab_write_pj: float = 1.30
     # --- DAP (per comparator op, incl. pipeline registers) ---
     dap_compare_pj: float = 0.20
+    # --- DRAM (per byte over the channel, LPDDR4-class interface +
+    # array access). Off-chip energy is outside the paper's scope (its
+    # comparisons are die-only), so this prices the *reported* off-chip
+    # component next to the calibrated on-chip totals — it is not folded
+    # into them, and it does not scale with the logic node (the DRAM
+    # interface is its own process). ---
+    dram_pj_per_byte: float = 20.0
     # --- MCU cluster background (per accelerator cycle): activation
     # functions, pooling, requantization, DMA control on 4x Cortex-M33 ---
     mcu_cluster_pj_per_cycle: float = 51.8
@@ -69,7 +76,7 @@ class CostModel:
     def __post_init__(self) -> None:
         for name in ("mac_pj", "operand_reg_pj", "acc_reg_pj",
                      "sram_ab_read_pj", "sram_wb_read_pj",
-                     "mcu_cluster_pj_per_cycle"):
+                     "mcu_cluster_pj_per_cycle", "dram_pj_per_byte"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         if self.gated_mac_pj > self.mac_pj:

@@ -7,6 +7,13 @@ paper's figures: ``datapath`` (MAC + muxes), ``buffers`` (operand/acc
 registers, FIFOs, scatter accumulators), ``sram``, ``dap`` and
 ``actfn`` (the MCU cluster's background power times runtime).
 
+The ``dram`` component prices off-chip traffic from the
+memory-hierarchy model (:mod:`repro.arch.memory`). The paper's energy
+comparisons are die-only, so ``dram`` is reported *beside* the
+calibrated on-chip totals: ``total_pj`` stays on-chip (keeping every
+published ratio intact) and ``total_with_dram_pj`` adds the off-chip
+interface on top. DRAM energy does not scale with the logic node.
+
 :class:`AreaModel` prices a design's structural parameters (MAC count,
 per-MAC buffer bytes, SRAM capacity, MCUs, DAP) in mm².
 """
@@ -34,10 +41,19 @@ class EnergyBreakdown:
     sram: float = 0.0
     dap: float = 0.0
     actfn: float = 0.0
+    # Off-chip DRAM interface — reported beside the on-chip total, not
+    # inside it (the paper's comparisons are die-only).
+    dram: float = 0.0
 
     @property
     def total_pj(self) -> float:
+        """On-chip (die) total — the paper-calibrated quantity."""
         return self.datapath + self.buffers + self.sram + self.dap + self.actfn
+
+    @property
+    def total_with_dram_pj(self) -> float:
+        """On-chip total plus the off-chip DRAM interface."""
+        return self.total_pj + self.dram
 
     @property
     def total_uj(self) -> float:
@@ -59,6 +75,7 @@ class EnergyBreakdown:
             sram=self.sram + other.sram,
             dap=self.dap + other.dap,
             actfn=self.actfn + other.actfn,
+            dram=self.dram + other.dram,
         )
 
     def scaled(self, factor: float) -> "EnergyBreakdown":
@@ -68,6 +85,7 @@ class EnergyBreakdown:
             sram=self.sram * factor,
             dap=self.dap * factor,
             actfn=self.actfn * factor,
+            dram=self.dram * factor,
         )
 
 
@@ -101,6 +119,10 @@ class EnergyModel:
             + events.sram_a_write_bytes * c.sram_ab_write_pj
         )
         dap = events.dap_compare_ops * c.dap_compare_pj
+        # Off-chip traffic: per byte over the channel; the DRAM interface
+        # is its own process, so no logic-node scaling.
+        dram = (events.dram_read_bytes
+                + events.dram_write_bytes) * c.dram_pj_per_byte
         # The MCU cluster runs for the whole layer (activation functions,
         # pooling, requant, DMA control): background power x runtime, so
         # speedup directly shrinks this component.
@@ -112,6 +134,7 @@ class EnergyModel:
             sram=sram * scale,
             dap=dap * scale,
             actfn=actfn * scale,
+            dram=dram,
         )
 
     def total_pj(self, events: EventCounts) -> float:

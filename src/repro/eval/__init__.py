@@ -27,11 +27,14 @@ from repro.eval.experiments import (
     tbl5_summary,
     xval_functional_vs_analytic,
 )
+from repro.eval.roofline import dram_bw_sensitivity, roofline_analysis
 from repro.eval.tables import ExperimentResult, format_table
 
 __all__ = [
     "ExperimentResult",
     "format_table",
+    "roofline_analysis",
+    "dram_bw_sensitivity",
     "functional_operands",
     "fig1_energy_breakdown",
     "fig3_smt_overhead",

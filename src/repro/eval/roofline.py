@@ -1,0 +1,163 @@
+"""Roofline analysis and DRAM-bandwidth sensitivity artifacts.
+
+Built on the memory-hierarchy subsystem (:mod:`repro.arch.memory`):
+every layer's :class:`~repro.arch.memory.LayerMemoryProfile` carries
+exact per-operand-class DRAM bytes and the honest fill time, so the
+classic roofline quantities fall out directly:
+
+- *operational intensity* ``OI = ops / total DRAM bytes`` (x-axis),
+- the *memory roof* ``ops / operand-fill time`` (reads only, burst- and
+  row-aware — slightly above the idealized ``OI * bytes_per_cycle``
+  line because write-back is posted and drains overlapped) and the
+  layer's *compute roof* ``ops / compute_cycles``, both in ops/cycle
+  (clock independent),
+- the *achieved* throughput ``ops / cycles`` under the enforced cap.
+
+``roofline_analysis`` reports these per layer for the systolic variant
+family; ``dram_bw_sensitivity`` sweeps the DRAM bandwidth axis over the
+Fig. 11 models and shows where the published S2TA-AW speedup hits the
+memory wall. Both are analytic-tier (milliseconds per network).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.eval.tables import ExperimentResult
+from repro.models import get_spec
+
+__all__ = ["roofline_analysis", "dram_bw_sensitivity", "DEFAULT_BANDWIDTHS"]
+
+#: GB/s points of the sensitivity sweep (default channel: 32 B/cycle,
+#: i.e. 32 GB/s at the 16 nm design point's 1 GHz clock).
+DEFAULT_BANDWIDTHS: Tuple[float, ...] = (4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def _variants(tech: str, dram_gbps: Optional[float]):
+    from repro.eval.experiments import SYSTOLIC_VARIANTS, _sa_variants
+
+    variants = _sa_variants(tech, dram_gbps=dram_gbps)
+    return {k: variants[k] for k in SYSTOLIC_VARIANTS}
+
+
+def roofline_analysis(model: str = "alexnet", tech: str = "16nm",
+                      dram_gbps: Optional[float] = None) -> ExperimentResult:
+    """Per-layer roofline placement of one network (all layer kinds).
+
+    The ``bound`` column uses the honest fill time of the memory
+    profile; the ``achieved`` column reflects the enforced cap (at the
+    default channel the paper's staging assumption applies to conv
+    layers — pass ``dram_gbps`` to enforce the wall everywhere).
+    """
+    spec = get_spec(model)
+    variants = _variants(tech, dram_gbps)
+    rows = []
+    bound_count = {}
+    for name, accel in variants.items():
+        run = accel.run_model(spec)
+        for r in run.layer_results:
+            prof = r.memory
+            ops = 2.0 * r.layer.macs
+            oi = prof.intensity(ops)
+            compute_roof = ops / r.compute_cycles
+            mem_roof = (ops / prof.fill_cycles if prof.fill_cycles
+                        else float("inf"))
+            achieved = ops / r.cycles
+            bound = "memory" if prof.memory_bound else "compute"
+            bound_count[name] = bound_count.get(name, 0) + prof.memory_bound
+            # Fill-skew overhead the double-buffered tile timeline cannot
+            # hide: the exposed first fill + any per-tile pacing beyond
+            # the ideal max(compute, fill) roofline bound.
+            ideal = max(prof.compute_cycles, prof.memory_cycles)
+            overlap_pct = (prof.overlapped_cycles / ideal - 1.0) * 100 \
+                if ideal else 0.0
+            rows.append([
+                name, r.layer.name, r.layer.kind.value,
+                round(oi, 1),
+                round(compute_roof, 1),
+                round(mem_roof, 1) if mem_roof != float("inf") else "inf",
+                round(achieved, 1),
+                bound,
+                round(prof.total_dram_bytes / 1024, 1),
+                round(overlap_pct, 2),
+            ])
+    layers = len(spec.layers)
+    notes = [
+        "ops = 2 * dense MACs; roofs in ops/cycle (clock independent); "
+        "memory roof = ops / honest operand-fill time",
+        "bound column uses the honest fill time; 'achieved' reflects the "
+        "enforced cap (default channel stages conv operands ahead of "
+        "compute, the paper's Sec. 8.3 semantics — pass --dram-bw to "
+        "enforce the wall on every layer)",
+        "DMA skew % = double-buffered per-tile timeline overhead beyond "
+        "the ideal max(compute, fill) bound (exposed first-tile fill + "
+        "per-tile pacing)",
+    ]
+    for name, count in bound_count.items():
+        notes.append(f"{name}: {count}/{layers} layers over the memory "
+                     f"wall at {variants[name].memory.dram.bytes_per_cycle:g} "
+                     f"B/cycle")
+    bw = ("default 32 B/cycle" if dram_gbps is None
+          else f"{dram_gbps:g} GB/s")
+    return ExperimentResult(
+        artifact="Roofline",
+        title=f"Per-layer roofline placement ({model}, {tech}, {bw})",
+        headers=["accelerator", "layer", "kind", "OI ops/B",
+                 "compute roof", "memory roof", "achieved", "bound",
+                 "DRAM KiB", "DMA skew %"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def dram_bw_sensitivity(
+    tech: str = "16nm",
+    bandwidths: Sequence[float] = DEFAULT_BANDWIDTHS,
+    models: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """S2TA-AW speedup vs SA-ZVCG as the DRAM channel narrows.
+
+    For each bandwidth the full networks (conv + FC + depthwise) run
+    with the honest roofline wall enforced on every layer; the table
+    shows the whole-network speedup and the fraction of S2TA-AW layers
+    that are memory bound. The published Fig. 11 speedups need the
+    channel to keep up with the sparse datapath — this is the sweepable
+    axis the flat DMA cap could not express.
+    """
+    from repro.eval.experiments import FULL_MODELS
+
+    from repro.accel import S2TAAW, ZvcgSA
+
+    models = list(FULL_MODELS) if models is None else list(models)
+    rows = []
+    for bw in bandwidths:
+        # Only the compared pair is needed; both depend on the bandwidth
+        # alone, so build them once per sweep point.
+        zvcg = ZvcgSA(tech=tech, dram_gbps=bw)
+        s2ta_aw = S2TAAW(tech=tech, dram_gbps=bw)
+        row = [f"{bw:g}"]
+        for model_name in models:
+            spec = get_spec(model_name)
+            base = zvcg.run_model(spec)
+            aw = s2ta_aw.run_model(spec)
+            speedup = base.total_cycles / aw.total_cycles
+            frac = (sum(1 for r in aw.layer_results if r.memory_bound)
+                    / len(aw.layer_results))
+            row.append(round(speedup, 2))
+            row.append(round(frac * 100, 0))
+        rows.append(row)
+    headers = ["DRAM GB/s"]
+    for model_name in models:
+        headers.append(f"{model_name} speedup")
+        headers.append(f"{model_name} mem%")
+    return ExperimentResult(
+        artifact="Roofline BW sweep",
+        title="S2TA-AW vs SA-ZVCG across DRAM bandwidth "
+              f"({tech}, whole networks, honest wall)",
+        headers=headers,
+        rows=rows,
+        notes=["speedup = SA-ZVCG cycles / S2TA-AW cycles; mem% = share "
+               "of S2TA-AW layers with fill time above compute time",
+               "the default evaluation channel is 32 B/cycle (32 GB/s at "
+               "1 GHz) with the paper's conv staging assumption"],
+    )

@@ -52,6 +52,11 @@ class LayerSpec:
     a_nnz: int = 8
     weight_density: Optional[float] = None
     act_density: Optional[float] = None
+    #: Explicit im2col window size (KH*KW). ``None`` lets the memory
+    #: model infer it from K's square-kernel divisors — exact for the
+    #: current zoo, but a 1x1 layer whose channel count divides by 9/25
+    #: would be mis-detected, so new specs should state it.
+    window: Optional[int] = None
 
     def __post_init__(self) -> None:
         for dim, label in ((self.m, "m"), (self.k, "k"), (self.n, "n")):
@@ -60,6 +65,11 @@ class LayerSpec:
         for nnz, label in ((self.w_nnz, "w_nnz"), (self.a_nnz, "a_nnz")):
             if not 1 <= nnz <= BLOCK_SIZE:
                 raise ValueError(f"{label} must be in [1, {BLOCK_SIZE}], got {nnz}")
+        if self.window is not None and (
+                self.window < 1 or self.k % self.window != 0):
+            raise ValueError(
+                f"window must be >= 1 and divide k={self.k}, "
+                f"got {self.window}")
 
     @property
     def macs(self) -> int:

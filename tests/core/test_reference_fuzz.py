@@ -141,7 +141,8 @@ def _reference_wdbb_result(config: SystolicConfig, a, w):
     tiles_n = math.ceil(n / config.eff_cols)
     tiles = tiles_m * tiles_n
     skew = config.rows + config.cols - 2
-    cycles = tiles * (k_blocks + skew)
+    # Tiles pipeline back to back; the wavefront skew is paid once.
+    cycles = tiles * k_blocks + skew
     w_dbb = compress(w.T, spec)
     events = EventCounts(cycles=cycles)
     slots = tiles * config.eff_rows * config.eff_cols * k_blocks * spec.max_nnz
@@ -190,7 +191,8 @@ def _reference_awdbb_result(config: SystolicConfig, a, w, a_nnz):
     tiles = tiles_m * tiles_n
     skew = config.rows + config.cols - 2
     steps_per_block = nnz_a if nnz_a < bz else bz
-    cycles = tiles * (k_blocks + skew) * steps_per_block
+    # Pipelined tiles: one wavefront skew per GEMM, serialized steps.
+    cycles = (tiles * k_blocks + skew) * steps_per_block
     events = EventCounts(cycles=cycles)
     slots = (tiles * config.eff_rows * config.eff_cols
              * k_blocks * steps_per_block)

@@ -1,0 +1,68 @@
+"""Tests for the roofline and DRAM-bandwidth sensitivity artifacts."""
+
+import pytest
+
+from repro.eval import dram_bw_sensitivity, roofline_analysis
+
+
+class TestRooflineAnalysis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return roofline_analysis("alexnet")
+
+    def test_covers_every_layer_and_variant(self, result):
+        from repro.models import get_spec
+
+        layers = len(get_spec("alexnet").layers)
+        assert len(result.rows) == 4 * layers  # 4 systolic variants
+
+    def test_fc_layers_sit_under_the_memory_roof(self, result):
+        kind_idx = result.headers.index("kind")
+        bound_idx = result.headers.index("bound")
+        fc_rows = [r for r in result.rows if r[kind_idx] == "fc"]
+        assert fc_rows
+        assert all(r[bound_idx] == "memory" for r in fc_rows)
+
+    def test_conv_layers_compute_bound_at_default(self, result):
+        """The default channel keeps the paper's conv speedups intact."""
+        kind_idx = result.headers.index("kind")
+        bound_idx = result.headers.index("bound")
+        zvcg = [r for r in result.rows
+                if r[0] == "SA-ZVCG" and r[kind_idx] == "conv"]
+        assert all(r[bound_idx] == "compute" for r in zvcg)
+
+    def test_memory_roof_respects_intensity_ordering(self, result):
+        """FC layers have orders of magnitude lower OI than convs."""
+        oi_idx = result.headers.index("OI ops/B")
+        kind_idx = result.headers.index("kind")
+        conv_oi = min(r[oi_idx] for r in result.rows
+                      if r[kind_idx] == "conv")
+        fc_oi = max(r[oi_idx] for r in result.rows if r[kind_idx] == "fc")
+        assert conv_oi > 10 * fc_oi
+
+    def test_narrow_channel_moves_convs_over_the_wall(self):
+        narrow = roofline_analysis("alexnet", dram_gbps=2.0)
+        bound_idx = narrow.headers.index("bound")
+        kind_idx = narrow.headers.index("kind")
+        conv_memory = [r for r in narrow.rows
+                       if r[kind_idx] == "conv" and r[bound_idx] == "memory"]
+        assert conv_memory  # at 2 GB/s even convs stall
+
+
+class TestDramBwSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return dram_bw_sensitivity(bandwidths=(8.0, 512.0),
+                                   models=("alexnet",))
+
+    def test_speedup_monotone_in_bandwidth(self, result):
+        speedups = result.column("alexnet speedup")
+        assert speedups[0] < speedups[-1]
+
+    def test_wide_channel_recovers_compute_bound_network(self, result):
+        mem_frac = result.column("alexnet mem%")
+        assert mem_frac[-1] == 0
+        assert mem_frac[0] > 0
+
+    def test_row_per_bandwidth(self, result):
+        assert [r[0] for r in result.rows] == ["8", "512"]

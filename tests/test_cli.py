@@ -68,6 +68,31 @@ class TestExperiment:
         out = main(["experiment", "xval", "--seed", "1"])
         assert "Analytic vs functional" in out
         assert "worst |delta|" in out
+        assert "DRAM exact" in out
+
+    def test_roofline_artifact(self):
+        out = main(["experiment", "roofline"])
+        assert "Roofline" in out
+        assert "memory" in out  # FC layers sit under the memory roof
+
+    def test_roofline_with_dram_bw(self):
+        out = main(["experiment", "roofline", "--dram-bw", "4"])
+        assert "4 GB/s" in out
+
+    def test_roofline_bw_sweep_artifact(self):
+        out = main(["experiment", "roofline-bw"])
+        assert "DRAM GB/s" in out
+        assert "mem%" in out
+
+    def test_fig11_with_dram_bw(self):
+        out = main(["experiment", "fig11", "--dram-bw", "8"])
+        assert "DRAM channel 8 GB/s" in out
+
+    def test_dram_bw_rejected_for_other_artifacts(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig1", "--dram-bw", "8"])
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig11", "--dram-bw", "-3"])
 
 
 class TestSweep:

@@ -18,11 +18,12 @@ Three layers of agreement are asserted here:
 - *end-to-end agreement* — the full functional pipeline
   (``run_layer_functional`` on synthesized operands at real AlexNet
   layer sizes) must reproduce the analytic per-layer energy within a
-  stated tolerance, with cycles differing only by the tile fill/drain
-  skew the analytic model pipelines away.
+  stated tolerance, with *bit-equal* compute cycles (both tiers share
+  the pipelined-tile skew convention: one wavefront fill per GEMM) and
+  bit-equal per-operand-class DRAM bytes from the memory-hierarchy
+  model — on conv layers and on the memory-bound FC layers.
 """
 
-import math
 
 import numpy as np
 import pytest
@@ -65,16 +66,16 @@ class TestDenseSAAgreement:
         assert ana_events.total_mac_slots == sim_events.total_mac_slots
         assert ana_events.operand_reg_ops == sim_events.operand_reg_ops
 
-    def test_cycle_models_agree_within_skew(self):
+    def test_cycle_models_agree_exactly(self):
         a, w, layer = _workload(1)
         sim = SystolicArray(SystolicConfig(rows=4, cols=4, mode=Mode.DENSE))
         sim_cycles = sim.run_gemm(a, w).cycles
         model = DenseSA()
         model.rows, model.cols = 4, 4
         ana_cycles, _ = model._layer_events(layer)
-        # The simulator pays skew per tile, the analytic model once.
-        tiles = 8 * 8
-        assert abs(sim_cycles - ana_cycles) <= tiles * (4 + 4 - 2)
+        # Both tiers share the pipelined-tile convention: tiles stream
+        # back to back, one wavefront skew per GEMM -> bit-equal cycles.
+        assert sim_cycles == ana_cycles
 
 
 class TestZvcgAgreement:
@@ -208,8 +209,8 @@ class TestRaggedGeometryAgreement:
 
     Structural counters (MAC slots, SRAM bytes, mux selects, DAP
     compares, accumulator slots) are exact; fired MACs agree within a
-    statistical tolerance; cycles differ only by the per-tile fill/drain
-    skew the analytic model pipelines away.
+    statistical tolerance; cycles are bit-equal (both tiers pipeline
+    tiles and pay the wavefront skew once per GEMM).
     """
 
     @staticmethod
@@ -241,8 +242,7 @@ class TestRaggedGeometryAgreement:
         ana_cycles, ana = model._layer_events(layer)
         self._assert_structural(ana, sim.events)
         assert ana.mac_ops == sim.events.mac_ops  # dense MACs are exact
-        tiles = math.ceil(m / 4) * math.ceil(n / 4)
-        assert 0 <= sim.cycles - ana_cycles <= tiles * (4 + 4 - 2)
+        assert sim.cycles == ana_cycles
 
     @given(_ragged_dims, st.floats(0.2, 0.9), st.integers(0, 10_000))
     @settings(max_examples=20, deadline=None)
@@ -272,8 +272,7 @@ class TestRaggedGeometryAgreement:
         ana_cycles, ana = model._layer_events(layer)
         self._assert_structural(ana, sim.events)
         self._assert_fired_close(ana, sim.events)
-        tiles = math.ceil(m / 4) * math.ceil(n / 4)
-        assert 0 <= sim.cycles - ana_cycles <= tiles * (2 + 2 - 2)
+        assert sim.cycles == ana_cycles
 
     @given(_ragged_dims, st.floats(0.2, 0.9), st.integers(0, 10_000))
     @settings(max_examples=10, deadline=None)
@@ -288,8 +287,7 @@ class TestRaggedGeometryAgreement:
         ana_cycles, ana = model._layer_events(layer)
         self._assert_structural(ana, sim.events)
         self._assert_fired_close(ana, sim.events)
-        tiles = math.ceil(m / 4) * math.ceil(n / 4)
-        assert 0 <= sim.cycles - ana_cycles <= tiles * (2 + 2 - 2)
+        assert sim.cycles == ana_cycles
 
     @given(_ragged_dims, st.integers(1, 8), st.floats(0.2, 0.9),
            st.integers(0, 10_000))
@@ -305,9 +303,7 @@ class TestRaggedGeometryAgreement:
         ana_cycles, ana = model._layer_events(layer)
         self._assert_structural(ana, sim.events)
         self._assert_fired_close(ana, sim.events)
-        steps = a_nnz if a_nnz < 8 else 8
-        tiles = math.ceil(m / 4) * math.ceil(n / 4)
-        assert 0 <= sim.cycles - ana_cycles <= tiles * (2 + 2 - 2) * steps
+        assert sim.cycles == ana_cycles
 
 
 # --------------------------------------------------------------------- #
@@ -321,13 +317,29 @@ class TestFunctionalPipelineAgreement:
     The acceptance contract of the functional migration: structurally
     exact counters stay bit-equal at real layer sizes, fired MACs agree
     to a fraction of a percent (the operand generator hits the analytic
-    densities by construction), and per-layer energy agrees within 6%.
+    densities by construction), per-layer energy agrees within 6%, and
+    — since the skew-convention unification — compute cycles and the
+    per-operand-class DRAM bytes of the memory-hierarchy model are
+    bit-equal for the four systolic execution modes (SMT's queueing
+    post-pass keeps a small statistical cycle delta).
     """
 
     #: Tolerances of the agreement contract (functional = reference).
     FIRED_RTOL = 0.01
     ENERGY_RTOL = 0.06
-    CYCLES_RTOL = 0.25
+    #: SMT only: its cycles rescale by a queueing-simulated speedup that
+    #: is looked up at *measured* operand densities, so a 1%-grid cell
+    #: boundary can shift the factor slightly. All other models: exact.
+    SMT_CYCLES_RTOL = 0.10
+
+    @staticmethod
+    def _assert_dram_exact(ana, fun, tag):
+        """Per-operand-class DRAM bytes must agree bit-for-bit."""
+        assert ana.memory is not None and fun.memory is not None, tag
+        assert ana.memory.by_class() == fun.memory.by_class(), tag
+        assert ana.memory.memory_cycles == fun.memory.memory_cycles, tag
+        assert ana.events.dram_read_bytes == fun.events.dram_read_bytes, tag
+        assert ana.events.dram_write_bytes == fun.events.dram_write_bytes, tag
 
     @pytest.fixture(scope="class")
     def alexnet_convs(self):
@@ -364,14 +376,15 @@ class TestFunctionalPipelineAgreement:
                 fe.mac_ops, rel=self.FIRED_RTOL), tag
             assert ana.energy_pj == pytest.approx(
                 fun.energy_pj, rel=self.ENERGY_RTOL), tag
-            # the simulator pays fill/drain skew per tile
-            assert fun.compute_cycles >= ana.compute_cycles, tag
-            assert (fun.compute_cycles - ana.compute_cycles) \
-                <= self.CYCLES_RTOL * fun.compute_cycles, tag
+            # unified skew convention: cycle models are bit-equal
+            assert fun.compute_cycles == ana.compute_cycles, tag
+            # memory subsystem: DRAM bytes exact across tiers
+            self._assert_dram_exact(ana, fun, tag)
 
     def test_smt_agreement(self, alexnet_convs):
         """SMT's slots derive from cycles, so only the statistical
-        contract applies there."""
+        contract applies there — but DRAM traffic (inherited dense ZVCG
+        streams) is still exact."""
         from repro.accel.smt import SmtSA
 
         accel = SmtSA()
@@ -385,6 +398,30 @@ class TestFunctionalPipelineAgreement:
                 fun.events.fifo_push_ops, rel=self.FIRED_RTOL), tag
             assert ana.energy_pj == pytest.approx(
                 fun.energy_pj, rel=self.ENERGY_RTOL), tag
+            assert ana.compute_cycles == pytest.approx(
+                fun.compute_cycles, rel=self.SMT_CYCLES_RTOL), tag
+            self._assert_dram_exact(ana, fun, tag)
+
+    @pytest.mark.parametrize("accel_cls", [ZvcgSA, S2TAW, S2TAAW])
+    def test_fc_layer_agreement(self, accel_cls):
+        """The memory subsystem contract extends past the conv stack:
+        on a memory-bound FC layer both tiers must agree bit-for-bit on
+        DRAM bytes and the fill-bandwidth cap (the Sec. 8.3 floor)."""
+        from repro.models import get_spec
+
+        layer = get_spec("alexnet").layer("fc6")
+        accel = accel_cls()
+        ana = accel.run_layer(layer)
+        fun = accel.run_layer_functional(layer)
+        tag = f"{accel.name}/fc6"
+        assert ana.memory_bound and fun.memory_bound, tag
+        assert ana.memory_cycles == fun.memory_cycles, tag
+        assert fun.compute_cycles == ana.compute_cycles, tag
+        self._assert_dram_exact(ana, fun, tag)
+        # The FC weight stream dominates the fill: weights are far from
+        # resident and the profile must say so.
+        assert not ana.memory.weights_resident, tag
+        assert ana.memory.weight_bytes > ana.memory.act_bytes, tag
 
     def test_quick_subsampling_tracks_full_run(self):
         """``max_m`` extrapolation stays within a few percent of exact."""

@@ -166,6 +166,53 @@ class TestOperandCache:
         # still read-only and usable
         assert not a.flags.writeable
 
+    def test_eviction_follows_insertion_order_without_hits(self):
+        """With no intervening hits, the byte budget evicts strictly in
+        insertion order (oldest first) — the LRU degenerates to FIFO."""
+        layer_bytes = 64 * 96 + 96 * 32
+        cache = OperandCache(max_bytes=2 * layer_bytes)
+        layers = [_layer(name=f"O{i}") for i in range(4)]
+        for i, layer in enumerate(layers):
+            cache.get(layer, seed=i)
+        assert cache.stats()["evictions"] == 2
+        # Probe newest-first so hits don't perturb the order under test:
+        # the two newest survive, the two oldest were evicted in order.
+        cache.get(layers[3], seed=3)
+        cache.get(layers[2], seed=2)
+        assert cache.stats()["hits"] == 2
+        cache.get(layers[1], seed=1)
+        cache.get(layers[0], seed=0)
+        assert cache.stats()["misses"] == 4 + 2
+
+    def test_eviction_order_exact_sequence(self):
+        """Pinpoint which entry each insertion evicts."""
+        layer_bytes = 64 * 96 + 96 * 32
+        cache = OperandCache(max_bytes=2 * layer_bytes)
+        a, b, c = (_layer(name=n) for n in "ABC")
+        cache.get(a, seed=0)
+        cache.get(b, seed=1)
+        assert cache.stats()["evictions"] == 0
+        cache.get(c, seed=2)          # budget forces out A (oldest)
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["bytes"] == 2 * layer_bytes
+        cache.get(b, seed=1)          # hit: B was spared
+        cache.get(c, seed=2)          # hit: C resident
+        assert cache.stats()["hits"] == 2
+        cache.get(a, seed=0)          # miss: A was the eviction victim
+        assert cache.stats()["misses"] == 4
+        assert cache.stats()["evictions"] == 2  # re-inserting A ousts B
+
+    def test_budget_boundary_is_inclusive(self):
+        """An entry whose bytes equal the budget exactly is retained."""
+        layer = _layer()
+        a, w = spec_operands(layer)
+        exact = OperandCache(max_bytes=a.nbytes + w.nbytes)
+        exact.get(layer)
+        assert len(exact) == 1
+        just_under = OperandCache(max_bytes=a.nbytes + w.nbytes - 1)
+        just_under.get(layer)
+        assert len(just_under) == 0
+
     def test_shared_across_variant_sweep(self):
         """One synthesis feeds every accelerator in a sweep."""
         from repro.accel import S2TAAW, ZvcgSA
@@ -227,3 +274,49 @@ class TestCompressCacheStats:
         clear_compress_cache()
         assert compress_cache_stats() == {"hits": 0, "misses": 0,
                                           "entries": 0}
+
+    def test_distinct_tensors_get_distinct_entries(self):
+        """The memo is content-addressed: one miss per distinct weight
+        tensor, independent of which layer/seed produced it."""
+        from repro.core.gemm import (
+            clear_compress_cache,
+            compress_cache_stats,
+            compress_cached,
+        )
+
+        clear_compress_cache()
+        tensors = []
+        for seed in range(3):
+            _, w = spec_operands(_layer(m=8, k=64, n=8), seed=seed)
+            tensors.append(np.ascontiguousarray(w.T))
+        for w in tensors:
+            compress_cached(w, DBBSpec(8, 4))
+        assert compress_cache_stats()["misses"] == 3
+        assert compress_cache_stats()["entries"] == 3
+        for w in tensors:
+            compress_cached(w, DBBSpec(8, 4))
+        assert compress_cache_stats()["hits"] == 3
+        # a different (looser) spec over the same bytes is its own entry
+        compress_cached(tensors[0], DBBSpec(8, 8))
+        assert compress_cache_stats()["misses"] == 4
+        clear_compress_cache()
+
+    def test_functional_layer_run_hits_compress_memo(self):
+        """run_layer_functional on the W-DBB variant compresses each
+        layer's weights once across repeated runs and density sweeps."""
+        from repro.accel import S2TAW
+        from repro.core.gemm import (
+            clear_compress_cache,
+            compress_cache_stats,
+        )
+
+        layer = _layer(m=16, k=64, n=16, a_density=0.5)
+        cache = OperandCache(max_bytes=1 << 24)
+        clear_compress_cache()
+        accel = S2TAW(rows=2, cols=2, tpe_a=2, tpe_c=2)
+        for _ in range(3):
+            accel.run_layer_functional(layer, cache=cache)
+        stats = compress_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+        clear_compress_cache()

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Fail CI when the newest benchmark run regresses on throughput.
+
+Diffs the two most recent ``BENCH_*.json`` files (pytest-benchmark
+``--benchmark-json`` output, as produced by ``make nightly``) and exits
+non-zero when any benchmark's throughput dropped by more than the
+threshold (default 10%).
+
+Throughput metric per benchmark, in order of preference:
+
+- ``extra_info.macs_per_s`` (the kernel benchmarks record simulated
+  MACs per wall-clock second — higher is better), else
+- ``1 / stats.mean`` (plain call rate — higher is better).
+
+Usage::
+
+    python tools/check_bench_regression.py [--dir DIR] [--threshold 0.10]
+    python tools/check_bench_regression.py --candidate RUN.json.tmp
+
+Without ``--candidate`` the newest two promoted BENCH_*.json files are
+diffed (both necessarily passed their own gate). With ``--candidate``
+the given un-promoted run is diffed against the newest promoted
+baseline — the ``make bench`` flow, which only promotes the candidate
+to BENCH_*.json after this check passes, so a regressed run can never
+become the baseline that masks its own regression.
+
+Benchmarks present in only one of the two files are reported but never
+fail the check (suites grow across PRs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_THRESHOLD = 0.10
+
+
+class BenchFileError(RuntimeError):
+    """An unparsable BENCH_*.json would disturb the newest-pair diff."""
+
+
+def find_bench_files(
+    directory: pathlib.Path,
+) -> Tuple[List[Tuple[pathlib.Path, dict]], List[pathlib.Path]]:
+    """``(readable, unreadable)`` BENCH_*.json files.
+
+    Readable entries are ``(path, parsed payload)`` pairs, oldest first
+    (by recorded datetime, then mtime as the tiebreaker for hand-copied
+    files) — the payload is returned so the comparison does not re-read
+    the files."""
+    entries = []
+    unreadable = []
+    for path in directory.glob("BENCH_*.json"):
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            unreadable.append(path)
+            continue
+        mtime = path.stat().st_mtime
+        # A missing/null datetime (schema drift, hand-edited file) falls
+        # back to an ISO stamp derived from mtime, so the file still
+        # ranks chronologically against properly stamped ones instead of
+        # silently sorting oldest (or crashing the sort on None).
+        stamp = (payload.get("datetime")
+                 or datetime.datetime.fromtimestamp(mtime).isoformat())
+        entries.append((stamp, mtime, path, payload))
+    entries.sort(key=lambda e: e[:2])
+    return [(path, payload) for _, _, path, payload in entries], unreadable
+
+
+def check_unreadable(readable: List[Tuple[pathlib.Path, dict]],
+                     unreadable: List[pathlib.Path],
+                     strict: bool = True) -> None:
+    """Hard-fail only when a corrupt file could belong to the compared
+    newest pair: a truncated latest artifact must fail the gate, but a
+    months-old damaged file should not block it forever (it is reported
+    as a warning instead).
+
+    ``strict=False`` (candidate mode) always downgrades to warnings:
+    the candidate comparison runs against the newest *readable*
+    baseline regardless, and failing would wedge the gate permanently —
+    promotions are the only thing that ages a damaged promoted file
+    out of relevance.
+
+    A corrupt file carries no readable ``datetime``, so its age is
+    judged by filesystem mtime against the baseline file's mtime — a
+    best-effort heuristic. Tooling that rewrites mtimes (fresh
+    checkouts, cp without -p) can mis-age files either way; when in
+    doubt the nightly log's warning/error line names the file to
+    inspect."""
+    if not unreadable:
+        return
+    # Anything newer than the comparison baseline (second-newest
+    # readable file) could have displaced the compared pair; with a
+    # single readable file the baseline is that file, and with none at
+    # all every unreadable artifact is suspect.
+    if len(readable) >= 2:
+        cutoff = readable[-2][0].stat().st_mtime
+    elif readable:
+        cutoff = readable[-1][0].stat().st_mtime
+    else:
+        cutoff = float("-inf")
+    fresh = [p for p in unreadable if p.stat().st_mtime >= cutoff]
+    if fresh and strict:
+        names = ", ".join(p.name for p in fresh)
+        raise BenchFileError(
+            f"unreadable benchmark file(s) newer than the comparison "
+            f"baseline: {names}")
+    for path in unreadable:
+        age = "" if path in fresh else "stale "
+        print(f"warning: ignoring {age}unreadable benchmark file "
+              f"{path.name}")
+
+
+def throughput_of(record: dict) -> Optional[Tuple[float, str]]:
+    """(higher-is-better throughput, metric label) of one benchmark."""
+    extra = record.get("extra_info") or {}
+    macs = extra.get("macs_per_s")
+    if isinstance(macs, (int, float)) and macs > 0:
+        return float(macs), "macs/s"
+    mean = (record.get("stats") or {}).get("mean")
+    if isinstance(mean, (int, float)) and mean > 0:
+        return 1.0 / float(mean), "runs/s"
+    return None
+
+
+def load_throughputs(data: dict) -> Dict[str, Tuple[float, str]]:
+    out: Dict[str, Tuple[float, str]] = {}
+    for record in data.get("benchmarks", []):
+        name = record.get("fullname") or record.get("name")
+        metric = throughput_of(record)
+        if name and metric:
+            out[name] = metric
+    return out
+
+
+def compare(old: Dict[str, Tuple[float, str]],
+            new: Dict[str, Tuple[float, str]],
+            threshold: float) -> Tuple[List[str], List[str], int]:
+    """(report lines, regression lines, compared count) for the shared
+    benchmark set."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    compared = 0
+    for name in sorted(set(old) | set(new)):
+        if name not in old:
+            lines.append(f"  NEW      {name}")
+            continue
+        if name not in new:
+            lines.append(f"  REMOVED  {name}")
+            continue
+        old_tp, label = old[name]
+        new_tp, new_label = new[name]
+        if label != new_label:
+            # e.g. a benchmark gained/lost macs_per_s extra_info; the
+            # units are incomparable, so treat it like a fresh baseline.
+            lines.append(f"  METRIC-CHANGED  {name}  "
+                         f"({label} -> {new_label}, not compared)")
+            continue
+        compared += 1
+        delta = (new_tp - old_tp) / old_tp
+        tag = "ok"
+        if delta < -threshold:
+            tag = "REGRESSION"
+            regressions.append(
+                f"{name}: {old_tp:.4g} -> {new_tp:.4g} {label} "
+                f"({delta * 100:+.1f}%)")
+        lines.append(f"  {tag:<10} {name}  {old_tp:.4g} -> {new_tp:.4g} "
+                     f"{label} ({delta * 100:+.1f}%)")
+    return lines, regressions, compared
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff the newest two BENCH_*.json files for "
+                    "throughput regressions")
+    parser.add_argument("--dir", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="directory holding BENCH_*.json "
+                             "(default: repo root)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="relative throughput drop that fails the "
+                             "check (default 0.10 = 10%%)")
+    parser.add_argument("--candidate", type=pathlib.Path, default=None,
+                        help="un-promoted benchmark json to gate against "
+                             "the newest promoted baseline (make bench "
+                             "promotes it only if this check passes)")
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        parser.error("--threshold must be in (0, 1)")
+
+    files, unreadable = find_bench_files(args.dir)
+    try:
+        check_unreadable(files, unreadable, strict=args.candidate is None)
+    except BenchFileError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.candidate is not None:
+        try:
+            new_data = json.loads(args.candidate.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            print(f"error: unreadable candidate {args.candidate.name}: "
+                  f"{exc}")
+            return 2
+        if not files:
+            if unreadable:
+                # Baselines exist but none is readable: accepting the
+                # candidate unchecked could promote a regressed run as
+                # the new baseline — exactly what this gate prevents.
+                print("error: no readable promoted baseline (all "
+                      f"{len(unreadable)} BENCH file(s) are corrupt); "
+                      "repair or remove them before promoting "
+                      f"{args.candidate.name}")
+                return 2
+            if not load_throughputs(new_data):
+                # An empty first baseline would wedge every later run
+                # on the compared-nothing check.
+                print(f"error: candidate {args.candidate.name} has no "
+                      "usable benchmark records; refusing to promote "
+                      "it as the first baseline")
+                return 2
+            print(f"no promoted baseline under {args.dir}; accepting "
+                  f"{args.candidate.name} as the first one")
+            return 0
+        old_path, old_data = files[-1]
+        new_path = args.candidate
+    else:
+        if len(files) < 2:
+            print(f"need two BENCH_*.json files under {args.dir} to "
+                  f"compare; found {len(files)} — nothing to check")
+            return 0
+        (old_path, old_data), (new_path, new_data) = files[-2], files[-1]
+    old = load_throughputs(old_data)
+    new = load_throughputs(new_data)
+    print(f"comparing {old_path.name} (old) vs {new_path.name} (new), "
+          f"threshold {args.threshold * 100:.0f}%")
+    lines, regressions, compared = compare(old, new, args.threshold)
+    print("\n".join(lines))
+    if compared == 0:
+        # Two artifacts but nothing comparable (empty/filtered newest
+        # run, schema drift): a green exit here would mean the gate
+        # checked nothing while looking like it passed.
+        print("\nerror: no comparable benchmarks between "
+              f"{old_path.name} and {new_path.name} — the gate "
+              "compared nothing")
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} throughput regression(s) beyond "
+              f"{args.threshold * 100:.0f}%:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("\nno throughput regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
