@@ -2,9 +2,17 @@
 #
 #   make verify   - tier 1: the full default suite minus `slow`-marked
 #                   full-size functional runs; stays under a minute and
-#                   is what every PR must keep green.
-#   make nightly  - tier 2: the `slow` tier plus every benchmarks/
-#                   bench_*.py artifact run, recording a timestamped
+#                   is what every PR must keep green. Includes the
+#                   quick-mode functional checks of all seven
+#                   accelerator models (systolic family + SparTen /
+#                   Eyeriss v2 / SCNN engines) and the seed-fixed
+#                   functional baseline pins.
+#   make nightly  - tier 2: the `slow` tier (full-size fig11/fig12
+#                   functional runs over every model, no analytic
+#                   fallback) plus every benchmarks/bench_*.py artifact
+#                   run — bench_functional_vs_analytic enforces the
+#                   full-size XVAL_CONTRACT via `repro experiment xval`
+#                   semantics — recording a timestamped
 #                   BENCH_<utc>.json, then diffing the newest two BENCH
 #                   files and failing on >10% throughput regression.
 #

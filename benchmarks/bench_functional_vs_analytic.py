@@ -1,26 +1,32 @@
 """Cross-validation benchmark: functional simulation vs analytic models.
 
-Runs every AlexNet conv layer on both fidelity tiers for all five
-systolic-family accelerators and reports the per-layer deltas in cycles,
-fired MACs and energy. The saved table is the evidence that the analytic
-fast path tracks the functional ground truth; the assertions freeze the
-agreement contract (SRAM bytes, MAC slots and per-operand-class DRAM
-bytes exact, fired MACs within a fraction of a percent, energy within a
-few percent, cycles bit-equal for the systolic modes — SMT's queueing
-post-pass keeps a small statistical cycle delta).
+Runs every AlexNet conv layer on both fidelity tiers for the whole
+comparison set — the five systolic-family accelerators *and* the three
+fixed-dataflow baselines (SparTen, Eyeriss v2, SCNN) — and reports the
+per-layer deltas in cycles, fired MACs and energy. The saved table is
+the evidence that the analytic fast path tracks the functional ground
+truth; the per-model agreement contract lives in
+``repro.eval.experiments.XVAL_CONTRACT`` (SRAM bytes and
+per-operand-class DRAM bytes exact, fired MACs within a fraction of a
+percent, energy within a few percent; cycles bit-equal for the systolic
+modes, statistically bounded for SMT/SparTen/Eyeriss v2, and reported
+unenforced for SCNN whose multiplier fragmentation is emergent) and is
+enforced here through ``result.failures``.
 """
 
 from repro.eval import fig11_full_models, xval_functional_vs_analytic
 
-# Agreement contract (relative |delta| bounds, functional as reference).
-FIRED_TOL = 0.01
-ENERGY_TOL = 0.06
+# Systolic structural checks on top of the shared contract.
 SMT_CYCLES_TOL = 0.10  # queueing speedup looked up at measured densities
+BASELINES = ("SparTen", "Eyeriss-v2", "SCNN")
 
 
 def test_bench_xval_alexnet(benchmark, save_result):
     result = benchmark(xval_functional_vs_analytic, "alexnet")
     save_result(result)
+    # The per-model contract (fired/energy/cycles/exactness bounds) is
+    # evaluated by the runner itself; a clean run reports no failures.
+    assert not result.failures, result.failures
     worst_smt_cycles = worst_fired = worst_energy = 0.0
     for name, layer, d_cycles, d_fired, d_energy, sram, slots, dram, cyc \
             in result.rows:
@@ -28,7 +34,7 @@ def test_bench_xval_alexnet(benchmark, save_result):
         assert dram == "yes", f"{name}/{layer}: DRAM bytes diverged"
         if name.startswith("SMT"):  # SMT slots/cycles are queueing-derived
             worst_smt_cycles = max(worst_smt_cycles, abs(d_cycles) / 100)
-        else:
+        elif name not in BASELINES:
             assert slots == "yes", f"{name}/{layer}: MAC slots diverged"
             # unified skew convention: bit-equal, not just within rounding
             assert cyc == "yes", f"{name}/{layer}: cycle models diverged"
@@ -37,8 +43,6 @@ def test_bench_xval_alexnet(benchmark, save_result):
     benchmark.extra_info["worst_smt_cycles_delta"] = worst_smt_cycles
     benchmark.extra_info["worst_fired_delta"] = worst_fired
     benchmark.extra_info["worst_energy_delta"] = worst_energy
-    assert worst_fired < FIRED_TOL
-    assert worst_energy < ENERGY_TOL
     assert worst_smt_cycles < SMT_CYCLES_TOL
 
 
@@ -58,3 +62,21 @@ def test_bench_fig11_functional(benchmark, save_result):
     # more than the cross-tier modelling differences allow.
     assert abs(fun_avg[5] - ana_avg[5]) < 0.15
     assert abs(fun_avg[6] - ana_avg[6]) < 0.25
+
+
+def test_bench_fig12_functional_baselines(benchmark, save_result):
+    """Full-size functional Fig. 12: every row is honest simulation and
+    the baseline totals track the analytic pins."""
+    from repro.eval import fig12_alexnet_per_layer
+
+    result = benchmark.pedantic(
+        lambda: fig12_alexnet_per_layer(functional=True),
+        rounds=1, iterations=1)
+    save_result(result)
+    analytic = fig12_alexnet_per_layer()
+    for name in ("SparTen (45nm)", "Eyeriss v2 (65nm)", "SA-ZVCG (65nm)",
+                 "S2TA-W (65nm)", "S2TA-AW (65nm)"):
+        fun_total = result.row(name)[-1]
+        ana_total = analytic.row(name)[-1]
+        benchmark.extra_info[f"{name} functional total uJ"] = fun_total
+        assert abs(fun_total - ana_total) / ana_total < 0.06, name

@@ -25,6 +25,7 @@ Models:
 
 from repro.accel.base import AcceleratorModel, AccelRunResult, LayerResult
 from repro.accel.eyeriss import EyerissV2
+from repro.accel.fixed import FixedDataflowModel
 from repro.accel.s2ta import S2TAW, S2TAAW, S2TAWA
 from repro.accel.sa import DenseSA, ZvcgSA
 from repro.accel.scnn import SCNN
@@ -36,6 +37,7 @@ __all__ = [
     "AcceleratorModel",
     "AccelRunResult",
     "LayerResult",
+    "FixedDataflowModel",
     "DenseSA",
     "ZvcgSA",
     "SmtSA",

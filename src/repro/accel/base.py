@@ -314,9 +314,11 @@ class AcceleratorModel:
     # -------------------------------------------------------------- #
 
     def functional_sim_config(self):
-        """Cycle-simulator config for this design point. Subclass hook;
-        accelerators without a systolic functional model (e.g. the
-        outer-product comparison points) leave it unimplemented."""
+        """Cycle-simulator config for this design point. Subclass hook:
+        the systolic family returns a
+        :class:`~repro.arch.systolic.SystolicConfig`, the fixed-dataflow
+        comparison points their own engine configs (and override
+        :meth:`run_gemm_functional` to build the matching engine)."""
         raise NotImplementedError(
             f"{type(self).__name__} has no functional simulator")
 
@@ -332,6 +334,15 @@ class AcceleratorModel:
     def _functional_gemm_kwargs(self, layer: LayerSpec) -> dict:
         """Per-layer ``run_gemm`` knobs (A-DBB density, dense fallback)."""
         return {}
+
+    def _scale_functional_events(self, events: EventCounts,
+                                 factor: float) -> EventCounts:
+        """Extrapolate quick-mode (row-subsampled) events back to the
+        full layer. The default scales every counter linearly; models
+        whose weight streams are independent of the output-row count
+        (the fixed-dataflow comparison points) override this to exempt
+        the weight-side counters."""
+        return events.scaled(factor)
 
     def run_gemm_functional(self, a, w, **kwargs):
         """Run one concrete GEMM on the functional/cycle simulator.
@@ -374,7 +385,7 @@ class AcceleratorModel:
         compute_cycles = sim.cycles
         if sub is not layer:
             factor = layer.m / sub.m
-            events = events.scaled(factor)
+            events = self._scale_functional_events(events, factor)
             compute_cycles = int(round(compute_cycles * factor))
         # The measured events feed the same memory model as the analytic
         # tier; on exact runs (max_m=None) the per-pass SRAM counters are

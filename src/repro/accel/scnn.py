@@ -12,6 +12,17 @@ the scatter-overhead analysis of Sec. 2.3.
 Published design point: 64 PEs x 16 multipliers = 1024 MACs in 16 nm at
 1 GHz (original paper); the scatter crossbar and accumulator RMWs are
 charged per product.
+
+The functional tier runs the same design point on the cycle-level
+Cartesian-product engine (:mod:`repro.arch.scnn`): products, stored
+bytes and the per-PE multiplier issue slots are *measured* on concrete
+operands, and the DRAM streams derive from the measured counters
+through the shared :class:`~repro.accel.fixed.FixedDataflowModel`
+machinery. Note the cycle models *diverge by design* on small feature
+maps: the analytic tier assumes a flat sustained utilization while the
+engine's 4x4 multiplier quantization measures SCNN's published
+small-feature-map fragmentation (the cross-validation artifact reports
+the divergence; the energy/fired/DRAM contract still holds).
 """
 
 from __future__ import annotations
@@ -19,15 +30,14 @@ from __future__ import annotations
 import math
 from typing import Tuple
 
-from repro.accel.base import AcceleratorModel
+from repro.accel.fixed import FixedDataflowModel
 from repro.arch.events import EventCounts
-from repro.arch.memory import LayerTraffic, compressed_stream_traffic
 from repro.models.specs import LayerSpec
 
 __all__ = ["SCNN"]
 
 
-class SCNN(AcceleratorModel):
+class SCNN(FixedDataflowModel):
     """SCNN at its published design point (16 nm, 1024 INT16->INT8 MACs)."""
 
     name = "SCNN"
@@ -40,16 +50,12 @@ class SCNN(AcceleratorModel):
     # 1.65 KB/MAC buffer hierarchy costs more per access than SparTen's
     # (which the paper credits with "superior results to SCNN").
     scatter_ops_per_product = 3
-
-    def layer_traffic(self, layer: LayerSpec, events: EventCounts
-                      ) -> LayerTraffic:
-        """CSR-style compressed streams: 1 coordinate byte per stored
-        non-zero (the DBB-metadata analogue). The planar dataflow is not
-        output-stationary-tiled, so the closed form replaces the base
-        derivation; activations re-stream per output-channel group when
-        they do not stay resident."""
-        return compressed_stream_traffic(layer, group_cols=64, pass_cap=8,
-                                         coordinate_meta=True)
+    # CSR-style streams: 1 coordinate byte per stored non-zero (the
+    # DBB-metadata analogue); activations re-stream per output-channel
+    # group when they do not stay resident.
+    stream_group_cols = 64
+    stream_pass_cap = 8
+    coordinate_meta = True
 
     def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
         useful = max(1, round(layer.macs * layer.w_density * layer.a_density))
@@ -63,18 +69,35 @@ class SCNN(AcceleratorModel):
         events.scatter_acc_ops = useful * self.scatter_ops_per_product
         a_stored = round(layer.m * layer.k * layer.a_density) * 2  # CSR idx
         w_stored = round(layer.k * layer.n * layer.w_density) * 2
-        n_passes = max(1, math.ceil(layer.n / 64))
-        events.sram_a_read_bytes = a_stored * min(n_passes, 8)
+        n_passes = max(1, math.ceil(layer.n / self.stream_group_cols))
+        events.sram_a_read_bytes = a_stored * min(n_passes, self.stream_pass_cap)
         events.sram_w_read_bytes = w_stored
         events.sram_a_write_bytes = layer.m * layer.n
         events.mcu_elementwise_ops = layer.m * layer.n
         return compute_cycles, events
 
-    def run_layer(self, layer: LayerSpec):
-        result = super().run_layer(layer)
-        # No M33 cluster; fold post-processing per output as published.
-        scale = self.energy_model.tech.energy_scale
-        result.breakdown.actfn = (
-            result.events.mcu_elementwise_ops * 2.0 * scale
+    # -------------------------------------------------------------- #
+    # Functional tier: the Cartesian-product engine
+    # -------------------------------------------------------------- #
+
+    def functional_sim_config(self):
+        """The Cartesian-product engine's config for this design point."""
+        from repro.arch.scnn import SCNNConfig
+
+        config = SCNNConfig(
+            scatter_ops_per_product=self.scatter_ops_per_product,
+            group_cols=self.stream_group_cols,
+            pass_cap=self.stream_pass_cap,
         )
-        return result
+        # PE-grid factorization (PEs x I x F) lives on the engine
+        # config; keep it in lockstep with the analytic MAC count.
+        if config.hardware_macs != self.hardware_macs:
+            raise ValueError(
+                f"engine grid provides {config.hardware_macs} MACs but "
+                f"the analytic model prices {self.hardware_macs}")
+        return config
+
+    def run_gemm_functional(self, a, w, **kwargs):
+        from repro.arch.scnn import SCNNEngine
+
+        return SCNNEngine(self.functional_sim_config()).run_gemm(a, w)

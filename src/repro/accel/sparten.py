@@ -12,6 +12,13 @@ The structure makes the paper's Fig. 12 shape emerge naturally: on
 high-sparsity layers few useful MACs -> low energy (SparTen wins); on
 dense layers useful ~ dense -> the per-pair machinery costs several
 times a systolic array's per-slot cost (SparTen loses on conv1/conv2).
+
+The functional tier runs the same design point on the cycle-level
+bitmask inner-join engine (:mod:`repro.arch.sparten`): matched pairs,
+stored bytes and the greedy filter schedule are *measured* on concrete
+operands, and the DRAM streams derive from the measured counters
+through the shared :class:`~repro.accel.fixed.FixedDataflowModel`
+machinery — the cross-validation suite asserts the agreement contract.
 """
 
 from __future__ import annotations
@@ -19,15 +26,14 @@ from __future__ import annotations
 import math
 from typing import Tuple
 
-from repro.accel.base import AcceleratorModel
+from repro.accel.fixed import FixedDataflowModel
 from repro.arch.events import EventCounts
-from repro.arch.memory import LayerTraffic, compressed_stream_traffic
 from repro.models.specs import LayerSpec
 
 __all__ = ["SparTen"]
 
 
-class SparTen(AcceleratorModel):
+class SparTen(FixedDataflowModel):
     """SparTen at its published design point (45 nm, 32 INT8 MACs)."""
 
     name = "SparTen"
@@ -39,18 +45,15 @@ class SparTen(AcceleratorModel):
     utilization = 0.65
     # Gather steps per useful pair (bitmask inner-join + prefix sums).
     gather_steps_per_pair = 3
+    # Bitmask streams: the tiny PE count forces activation re-streams
+    # across the output tiling — one pass per group of ``hardware_macs``
+    # filters (each PE owns one filter of the group), so the stream
+    # grouping is the PE count by construction.
+    stream_group_cols = hardware_macs
+    stream_pass_cap = 8
 
     def __init__(self, tech: str = "45nm", **kwargs):
         super().__init__(tech=tech, **kwargs)
-
-    def layer_traffic(self, layer: LayerSpec, events: EventCounts
-                      ) -> LayerTraffic:
-        """Bitmask-compressed streams: non-zero bytes plus a 1-bit-per-
-        element occupancy mask (the metadata class). The tiny PE count
-        forces activation re-streams across the output tiling when the
-        working set overflows the 0.5 MB of on-chip storage."""
-        return compressed_stream_traffic(
-            layer, group_cols=self.hardware_macs, pass_cap=8)
 
     def _layer_events(self, layer: LayerSpec) -> Tuple[int, EventCounts]:
         useful = max(1, round(layer.macs * layer.w_density * layer.a_density))
@@ -65,25 +68,31 @@ class SparTen(AcceleratorModel):
         events.scatter_acc_ops = useful
         # Bitmask-compressed operand storage, scanned once per use; the
         # tiny PE count forces full re-reads across the output tiling.
-        n_passes = max(1, math.ceil(layer.n / self.hardware_macs))
+        n_passes = max(1, math.ceil(layer.n / self.stream_group_cols))
         a_stored = round(layer.m * layer.k * layer.a_density) + layer.m * layer.k // 8
         w_stored = round(layer.k * layer.n * layer.w_density) + layer.k * layer.n // 8
-        events.sram_a_read_bytes = a_stored * min(n_passes, 8)
+        events.sram_a_read_bytes = a_stored * min(n_passes, self.stream_pass_cap)
         events.sram_w_read_bytes = w_stored
         events.sram_a_write_bytes = layer.m * layer.n
         events.mcu_elementwise_ops = layer.m * layer.n
         return compute_cycles, events
 
-    # SparTen's published numbers already include its own post-processing;
-    # the MCU-cluster background is a S2TA structure, so null it here by
-    # keeping cycles' contribution small: SparTen runs at 32 MACs, so its
-    # cycle counts are huge — charging S2TA's 52 pJ/cycle would be wrong.
-    def run_layer(self, layer: LayerSpec):
-        result = super().run_layer(layer)
-        # Replace the actfn (MCU background) component with a per-output
-        # post-processing cost folded into its design (~2 pJ/output 16nm-eq).
-        scale = self.energy_model.tech.energy_scale
-        result.breakdown.actfn = (
-            result.events.mcu_elementwise_ops * 2.0 * scale
+    # -------------------------------------------------------------- #
+    # Functional tier: the bitmask inner-join engine
+    # -------------------------------------------------------------- #
+
+    def functional_sim_config(self):
+        """The inner-join engine's config for this design point."""
+        from repro.arch.sparten import SparTenConfig
+
+        return SparTenConfig(
+            pes=self.hardware_macs,
+            gather_steps_per_pair=self.gather_steps_per_pair,
+            pipeline_utilization=self.utilization,
+            pass_cap=self.stream_pass_cap,
         )
-        return result
+
+    def run_gemm_functional(self, a, w, **kwargs):
+        from repro.arch.sparten import SparTenEngine
+
+        return SparTenEngine(self.functional_sim_config()).run_gemm(a, w)

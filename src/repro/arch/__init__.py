@@ -13,6 +13,12 @@ Cycle-level functional models of the paper's hardware building blocks:
 - :mod:`repro.arch.smt`: the SA-SMT staging-FIFO queueing simulator.
 - :mod:`repro.arch.systolic`: output-stationary systolic array simulator
   for the scalar-PE baselines and the S2TA tensor-PE variants.
+- :mod:`repro.arch.sparten`: SparTen's bitmask inner-join PE array with
+  greedy (LPT) filter scheduling.
+- :mod:`repro.arch.eyeriss`: Eyeriss v2's CSC row-stationary PE mesh
+  with hierarchical cluster occupancy.
+- :mod:`repro.arch.scnn`: SCNN's Cartesian-product PEs with the
+  result-scatter crossbar.
 - :mod:`repro.arch.memory`: the memory hierarchy — DRAM channel,
   double-buffered SRAM staging, and the tile-schedule DMA walker behind
   the roofline artifacts.
@@ -27,6 +33,7 @@ from repro.arch.datapath import (
     dp8_dense,
 )
 from repro.arch.events import EventCounts
+from repro.arch.eyeriss import EyerissV2Config, EyerissV2Engine, EyerissV2Result
 from repro.arch.memory import (
     DRAMConfig,
     LayerMemoryProfile,
@@ -36,7 +43,9 @@ from repro.arch.memory import (
     SRAMStaging,
 )
 from repro.arch.netsim import NetworkSimResult, simulate_network
+from repro.arch.scnn import SCNNConfig, SCNNEngine, SCNNResult
 from repro.arch.smt import SMTArrayModel, SMTResult
+from repro.arch.sparten import SparTenConfig, SparTenEngine, SparTenResult
 from repro.arch.systolic import SystolicArray, SystolicConfig, SystolicResult
 from repro.arch.tpe import TensorPE
 
@@ -61,6 +70,15 @@ __all__ = [
     "SystolicArray",
     "SystolicConfig",
     "SystolicResult",
+    "SparTenConfig",
+    "SparTenEngine",
+    "SparTenResult",
+    "EyerissV2Config",
+    "EyerissV2Engine",
+    "EyerissV2Result",
+    "SCNNConfig",
+    "SCNNEngine",
+    "SCNNResult",
     "TensorPE",
     "simulate_network",
     "NetworkSimResult",

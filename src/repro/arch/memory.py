@@ -59,7 +59,7 @@ __all__ = [
     "LayerMemoryProfile",
     "MemorySystem",
     "window_duplication",
-    "compressed_stream_traffic",
+    "compressed_stream_traffic_from_events",
 ]
 
 
@@ -96,35 +96,55 @@ def window_duplication(layer: LayerSpec, streaming: bool = True) -> int:
     return 1
 
 
-def compressed_stream_traffic(
+def compressed_stream_traffic_from_events(
     layer: LayerSpec,
+    events,
     *,
     group_cols: int,
     pass_cap: int,
     coordinate_meta: bool = False,
 ) -> "LayerTraffic":
-    """Closed-form :class:`LayerTraffic` of the fixed-dataflow
-    comparison points (SCNN / SparTen / Eyeriss v2).
+    """:class:`LayerTraffic` of the fixed-dataflow comparison points,
+    derived from their *counted* SRAM traffic instead of the closed-form
+    density estimate.
 
-    They stream sparsity-compressed operands: non-zero payload bytes at
-    the layer's element densities, plus sideband metadata — one
-    coordinate byte per stored non-zero (``coordinate_meta``, SCNN's
-    CSR-style encoding) or a ~1-bit-per-dense-element occupancy mask
-    (SparTen's bitmasks, Eyeriss v2's CSC columns). Activations refill
-    once per output-channel group (``n / group_cols`` passes, capped at
-    ``pass_cap``) whenever they are not resident; weights stream once.
-    The refill pattern is baked into the published designs, so the
-    traffic is marked ``fixed_schedule``.
+    The fixed-dataflow models (SCNN / SparTen / Eyeriss v2) count the
+    stored bytes of their sparsity-compressed operands in
+    ``EventCounts.sram_*_read_bytes`` — the analytic tier from the
+    density closed forms, the functional tier from the actual non-zeros
+    of the simulated operands. This derivation inverts those counters
+    back into single-pass stored footprints (the activation counter
+    carries ``passes`` refills; bitmask sideband is ``elements / 8``
+    bytes, CSR-style coordinate sideband one byte per stored non-zero)
+    and emits the DRAM streams from them. Because BOTH tiers route
+    through this one function, bit-equal SRAM counters give bit-equal
+    per-operand-class DRAM bytes — the same cross-validation mechanism
+    the systolic family uses. The DRAM-side activation stream divides
+    by the im2col window duplication (DRAM holds the compact feature
+    map; the address generators expand it on the fly). Activations
+    refill once per output-channel group (``n / group_cols`` passes,
+    capped at ``pass_cap``); weights stream once. The refill pattern is
+    baked into the published designs, so the traffic is marked
+    ``fixed_schedule``.
     """
     dup = window_duplication(layer)
-    a_nnz = max(1, round(layer.m * layer.k * layer.a_density / dup))
-    w_nnz = max(1, round(layer.k * layer.n * layer.w_density))
+    passes = min(max(1, math.ceil(layer.n / group_cols)), pass_cap)
+    a_stored = events.sram_a_read_bytes // passes
+    w_stored = events.sram_w_read_bytes
+    if coordinate_meta:
+        # payload + one coordinate byte per stored non-zero
+        a_payload = a_stored // 2
+        w_payload = w_stored // 2
+    else:
+        a_payload = max(0, a_stored - layer.m * layer.k // 8)
+        w_payload = max(0, w_stored - layer.k * layer.n // 8)
+    a_nnz = max(1, round(a_payload / dup))
+    w_nnz = max(1, w_payload)
     if coordinate_meta:
         a_meta, w_meta = a_nnz, w_nnz
     else:
         a_meta = max(1, layer.m * layer.k // dup // 8)
         w_meta = max(1, layer.k * layer.n // 8)
-    passes = min(max(1, math.ceil(layer.n / group_cols)), pass_cap)
     return LayerTraffic(
         weights=OperandStream(w_nnz, w_meta, passes=1),
         acts=OperandStream(a_nnz, a_meta, passes=passes),

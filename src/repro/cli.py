@@ -11,15 +11,20 @@ Usage::
 Every command prints plain text; ``experiment`` accepts any artifact id
 from DESIGN.md's index (fig1, fig3, fig9a..fig9d, fig10, fig11, fig12,
 tbl1..tbl5, sec7, ablation-unroll, ablation-bz, ablation-dap) plus
-``xval`` (the functional-vs-analytic cross-validation table),
-``roofline`` (per-layer roofline placement from the memory-hierarchy
-model) and ``roofline-bw`` (the DRAM-bandwidth sensitivity sweep). The
-full-model artifacts (fig11, fig12) take ``--functional`` to run the
-honest functional-simulation tier instead of the analytic fast path,
-``--quick`` to subsample layers for a fast check, and ``--seed`` for
-operand synthesis; fig11, fig12 and roofline take ``--dram-bw <GB/s>``
-to replace the default DRAM channel and enforce the roofline wall on
-every layer.
+``xval`` (the functional-vs-analytic cross-validation table over the
+whole comparison set — systolic family *and* the SparTen / Eyeriss v2 /
+SCNN baselines — which exits non-zero when any model breaks its
+agreement contract; ``--quick`` subsamples the layers, ``--seed`` picks
+the operand synthesis), ``roofline`` (per-layer roofline placement from
+the memory-hierarchy model) and ``roofline-bw`` (the DRAM-bandwidth
+sensitivity sweep). The full-model artifacts (fig11, fig12) take
+``--functional`` to run the honest functional-simulation tier instead
+of the analytic fast path, ``--quick`` to subsample layers for a fast
+check, and ``--seed`` for operand synthesis; fig11, fig12 and roofline
+take ``--dram-bw <GB/s>`` to replace the default DRAM channel and
+enforce the roofline wall on every layer; fig11, fig12 and ``run`` take
+``--dram-pj-per-byte`` to re-price the reported off-chip component
+(die-only totals are pinned and unaffected).
 """
 
 from __future__ import annotations
@@ -61,6 +66,10 @@ FUNCTIONAL_ARTIFACTS = ("fig11", "fig12")
 
 #: Artifacts whose runners take a DRAM-bandwidth override (dram_gbps=).
 DRAM_BW_ARTIFACTS = ("fig11", "fig12", "roofline")
+
+#: Artifacts whose runners price the off-chip component and take a
+#: DRAM-energy override (dram_pj_per_byte=).
+DRAM_PJ_ARTIFACTS = ("fig11", "fig12")
 
 
 def _experiments() -> Dict[str, Callable]:
@@ -131,11 +140,20 @@ def cmd_list_accelerators(_args) -> str:
     return "\n".join(lines)
 
 
+def _costs_from_args(args):
+    from repro.eval.experiments import _costs
+
+    if getattr(args, "dram_pj_per_byte", None) is not None \
+            and args.dram_pj_per_byte <= 0:
+        raise SystemExit("--dram-pj-per-byte must be positive")
+    return _costs(getattr(args, "dram_pj_per_byte", None))
+
+
 def cmd_run(args) -> str:
     spec = get_spec(args.model)
     factory = ACCELERATORS[args.accelerator]
     try:
-        accel = factory(tech=args.tech)
+        accel = factory(tech=args.tech, costs=_costs_from_args(args))
     except KeyError:
         raise SystemExit(f"unknown tech {args.tech!r}")
     run = accel.run_model(spec, conv_only=args.conv_only)
@@ -158,18 +176,23 @@ def cmd_run(args) -> str:
 
 
 def cmd_experiment(args) -> str:
+    from repro.eval.experiments import QUICK_MAX_M
+
     experiments = _experiments()
     functional_requested = (args.functional or args.quick
                             or args.seed is not None)
     seed = 0 if args.seed is None else args.seed
     if args.artifact == "all":
-        if functional_requested or args.dram_bw is not None:
+        if (functional_requested or args.dram_bw is not None
+                or args.dram_pj_per_byte is not None):
             raise SystemExit(
-                "--functional/--quick/--seed/--dram-bw apply to a single "
-                f"artifact, not 'all' ({', '.join(FUNCTIONAL_ARTIFACTS)} "
+                "--functional/--quick/--seed/--dram-bw/--dram-pj-per-byte "
+                "apply to a single artifact, not 'all' "
+                f"({', '.join(FUNCTIONAL_ARTIFACTS)} "
                 "take the functional flags; "
                 f"{', '.join(DRAM_BW_ARTIFACTS)} take --dram-bw; "
-                "xval takes --seed)")
+                f"{', '.join(DRAM_PJ_ARTIFACTS)} take --dram-pj-per-byte; "
+                "xval takes --seed/--quick)")
         return "\n\n".join(run().render()
                            for name, run in experiments.items())
     try:
@@ -185,18 +208,30 @@ def cmd_experiment(args) -> str:
             f"{', '.join(DRAM_BW_ARTIFACTS)}, not {args.artifact!r}")
     if args.dram_bw is not None and args.dram_bw <= 0:
         raise SystemExit("--dram-bw must be a positive bandwidth in GB/s")
+    if args.dram_pj_per_byte is not None \
+            and args.artifact not in DRAM_PJ_ARTIFACTS:
+        raise SystemExit(
+            f"--dram-pj-per-byte is only supported by "
+            f"{', '.join(DRAM_PJ_ARTIFACTS)}, not {args.artifact!r}")
+    _costs_from_args(args)  # shared --dram-pj-per-byte validation
     if args.artifact in FUNCTIONAL_ARTIFACTS:
         if not args.functional and (args.quick or args.seed is not None):
             raise SystemExit(
                 "--quick/--seed tune the functional tier; pass "
                 "--functional as well")
         return runner(functional=args.functional, quick=args.quick,
-                      seed=seed, dram_gbps=args.dram_bw).render()
+                      seed=seed, dram_gbps=args.dram_bw,
+                      dram_pj_per_byte=args.dram_pj_per_byte).render()
     if args.artifact == "xval":
-        if args.functional or args.quick:
+        if args.functional:
             raise SystemExit("xval always runs both tiers; it takes "
-                             "--seed but not --functional/--quick")
-        return runner(seed=seed).render()
+                             "--seed and --quick but not --functional")
+        result = runner(seed=seed,
+                        max_m=QUICK_MAX_M if args.quick else None)
+        if result.failures:
+            # Non-zero exit: a model broke its agreement contract.
+            raise SystemExit(result.render())
+        return result.render()
     if functional_requested:
         raise SystemExit(
             f"--functional/--quick/--seed are only supported by "
@@ -231,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--tech", default="16nm")
     run.add_argument("--conv-only", action="store_true")
     run.add_argument("--per-layer", action="store_true")
+    run.add_argument("--dram-pj-per-byte", type=float, default=None,
+                     metavar="PJ",
+                     help="off-chip DRAM interface energy per byte "
+                          "(prices the reported dram component; die-only "
+                          "totals are unaffected)")
     run.set_defaults(func=cmd_run)
 
     exp = sub.add_parser("experiment", help="reproduce a paper artifact")
@@ -240,7 +280,8 @@ def build_parser() -> argparse.ArgumentParser:
                           "(fig11/fig12: concrete INT8 GEMMs on the "
                           "cycle simulator)")
     exp.add_argument("--quick", action="store_true",
-                     help="subsample layers for a fast functional check")
+                     help="subsample layers for a fast functional check "
+                          "(fig11/fig12 with --functional; xval)")
     exp.add_argument("--seed", type=int, default=None,
                      help="operand-synthesis seed for the functional tier")
     exp.add_argument("--dram-bw", type=float, default=None,
@@ -248,6 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="DRAM channel bandwidth override (fig11/fig12/"
                           "roofline); enforces the roofline wall on "
                           "every layer")
+    exp.add_argument("--dram-pj-per-byte", type=float, default=None,
+                     metavar="PJ",
+                     help="off-chip DRAM interface energy per byte "
+                          "(fig11/fig12; die-only totals unaffected)")
     exp.set_defaults(func=cmd_experiment)
 
     sweep = sub.add_parser("sweep", help="Sec. 7 design-space sweep")

@@ -22,12 +22,14 @@ Two fidelity tiers back the full-model artifacts (Fig. 11 / Fig. 12):
 
 from __future__ import annotations
 
+import dataclasses
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.accel import (
+    SCNN,
     S2TAAW,
     S2TAW,
     DenseSA,
@@ -38,6 +40,7 @@ from repro.accel import (
 )
 from repro.accel.base import AcceleratorModel
 from repro.core.dbb import DBBSpec
+from repro.energy.costs import DEFAULT_COSTS, CostModel
 from repro.eval.tables import ExperimentResult
 from repro.models import get_spec
 from repro.workloads.microbench import SWEEP_SPARSITIES
@@ -104,10 +107,22 @@ def functional_operands(
     return a, w
 
 
+def _costs(dram_pj_per_byte: Optional[float] = None) -> CostModel:
+    """The default cost model, optionally re-pricing the off-chip DRAM
+    interface (``--dram-pj-per-byte``). The DRAM component is reported
+    beside — never inside — the die-only calibrated totals, so changing
+    it cannot move a golden headline (pinned in the test suite)."""
+    if dram_pj_per_byte is None:
+        return DEFAULT_COSTS
+    return dataclasses.replace(DEFAULT_COSTS,
+                               dram_pj_per_byte=dram_pj_per_byte)
+
+
 def _sa_variants(tech: str = "16nm",
-                 dram_gbps: Optional[float] = None
+                 dram_gbps: Optional[float] = None,
+                 costs: CostModel = DEFAULT_COSTS
                  ) -> Dict[str, AcceleratorModel]:
-    kwargs = {"tech": tech, "dram_gbps": dram_gbps}
+    kwargs = {"tech": tech, "dram_gbps": dram_gbps, "costs": costs}
     return {
         "SA": DenseSA(**kwargs),
         "SA-ZVCG": ZvcgSA(**kwargs),
@@ -477,7 +492,9 @@ def tbl3_accuracy(quick: bool = False,
 
 def fig11_full_models(functional: bool = False, quick: bool = False,
                       seed: int = 0,
-                      dram_gbps: Optional[float] = None) -> ExperimentResult:
+                      dram_gbps: Optional[float] = None,
+                      dram_pj_per_byte: Optional[float] = None
+                      ) -> ExperimentResult:
     """Full-model energy reduction and speedup vs SA-ZVCG (16 nm).
 
     ``functional=True`` switches from the analytic fast path to honest
@@ -487,9 +504,12 @@ def fig11_full_models(functional: bool = False, quick: bool = False,
     layer to at most ``QUICK_MAX_M`` output rows for CI. ``dram_gbps``
     replaces the default DRAM channel (32 B/cycle with the paper's conv
     staging assumption) with an explicit bandwidth and the honest
-    roofline wall on every layer — the memory-sensitivity axis.
+    roofline wall on every layer — the memory-sensitivity axis;
+    ``dram_pj_per_byte`` re-prices the reported off-chip component.
     """
-    variants = {k: v for k, v in _sa_variants(dram_gbps=dram_gbps).items()
+    variants = {k: v for k, v in _sa_variants(
+                    dram_gbps=dram_gbps,
+                    costs=_costs(dram_pj_per_byte)).items()
                 if k in SYSTOLIC_VARIANTS}
     max_m = QUICK_MAX_M if quick else None
 
@@ -548,30 +568,34 @@ def fig11_full_models(functional: bool = False, quick: bool = False,
 
 def fig12_alexnet_per_layer(functional: bool = False, quick: bool = False,
                             seed: int = 0,
-                            dram_gbps: Optional[float] = None
+                            dram_gbps: Optional[float] = None,
+                            dram_pj_per_byte: Optional[float] = None
                             ) -> ExperimentResult:
     """AlexNet per-layer energy across five accelerators (65/45 nm).
 
-    ``functional=True`` runs the systolic-family rows (SA-ZVCG, S2TA-W,
-    S2TA-AW) on concrete INT8 operands via the cycle simulator; the
-    outer-product comparison points (Eyeriss v2, SparTen) have no
-    systolic functional model and stay analytic — noted in the output.
-    ``quick=True`` subsamples each layer to ``QUICK_MAX_M`` output rows.
-    ``dram_gbps`` swaps in an explicit DRAM channel (each accelerator
-    converts against its own clock) with the honest roofline wall.
+    ``functional=True`` runs *every* row on concrete INT8 operands —
+    the systolic family on the cycle simulator, SparTen on the bitmask
+    inner-join engine, Eyeriss v2 on the CSC row-stationary mesh: no
+    analytic fallback remains in the comparison. ``quick=True``
+    subsamples each layer to ``QUICK_MAX_M`` output rows. ``dram_gbps``
+    swaps in an explicit DRAM channel (each accelerator converts
+    against its own clock) with the honest roofline wall;
+    ``dram_pj_per_byte`` re-prices the reported off-chip component
+    (die-only totals are unaffected by construction).
     """
     spec = get_spec("alexnet")
+    kwargs = {"dram_gbps": dram_gbps, "costs": _costs(dram_pj_per_byte)}
     accels = {
-        "Eyeriss v2 (65nm)": EyerissV2(dram_gbps=dram_gbps),
-        "SparTen (45nm)": SparTen(dram_gbps=dram_gbps),
-        "SA-ZVCG (65nm)": ZvcgSA(tech="65nm", dram_gbps=dram_gbps),
-        "S2TA-W (65nm)": S2TAW(tech="65nm", dram_gbps=dram_gbps),
-        "S2TA-AW (65nm)": S2TAAW(tech="65nm", dram_gbps=dram_gbps),
+        "Eyeriss v2 (65nm)": EyerissV2(**kwargs),
+        "SparTen (45nm)": SparTen(**kwargs),
+        "SA-ZVCG (65nm)": ZvcgSA(tech="65nm", **kwargs),
+        "S2TA-W (65nm)": S2TAW(tech="65nm", **kwargs),
+        "S2TA-AW (65nm)": S2TAAW(tech="65nm", **kwargs),
     }
     max_m = QUICK_MAX_M if quick else None
 
     def _run(accel):
-        if functional and accel.supports_functional:
+        if functional:
             return accel.run_model_functional(spec, conv_only=True,
                                               seed=seed, max_m=max_m)
         return accel.run_model(spec, conv_only=True)
@@ -598,8 +622,9 @@ def fig12_alexnet_per_layer(functional: bool = False, quick: bool = False,
     ]
     if functional:
         notes.append(
-            "functional tier for the systolic rows; Eyeriss v2 and "
-            "SparTen remain analytic (no systolic functional model)"
+            "functional tier for every row: systolic family on the "
+            "cycle simulator, SparTen on the bitmask inner-join engine, "
+            "Eyeriss v2 on the CSC row-stationary mesh"
             + (f"; quick mode, layers subsampled to m<={QUICK_MAX_M}"
                if quick else ""))
     return ExperimentResult(
@@ -616,6 +641,47 @@ def fig12_alexnet_per_layer(functional: bool = False, quick: bool = False,
 # Functional-vs-analytic cross-validation
 # --------------------------------------------------------------------- #
 
+@dataclasses.dataclass(frozen=True)
+class XvalContract:
+    """Per-accelerator agreement tolerances (functional = reference).
+
+    ``fired``/``energy`` are relative bounds enforced on every conv
+    layer; ``cycles`` is the relative compute-cycle bound (``0.0`` =
+    bit-equal, ``None`` = reported but not enforced); ``exact`` asserts
+    bit-equal SRAM bytes and per-operand-class DRAM bytes. Quick
+    (row-subsampled) runs extrapolate events linearly, so they enforce
+    the relaxed ``quick_fired``/``quick_energy`` bounds and waive the
+    cycle and exactness checks.
+    """
+
+    fired: float = 0.01
+    energy: float = 0.06
+    cycles: Optional[float] = 0.0
+    exact: bool = True
+    quick_fired: float = 0.05
+    quick_energy: float = 0.12
+
+
+#: The seven-model agreement contract of the cross-validation artifact
+#: (plus the dense SA reference row). Systolic modes are cycle-bit-equal
+#: by the shared pipelined-tile skew convention; SMT keeps a statistical
+#: bound from its queueing post-pass; SparTen/Eyeriss v2 differ only by
+#: the measured schedule imbalance on top of the shared pipeline
+#: efficiency; SCNN's cycles are reported unenforced — its 4x4
+#: multiplier quantization measures the published small-feature-map
+#: fragmentation the flat analytic utilization cannot represent.
+XVAL_CONTRACT: Dict[str, XvalContract] = {
+    "SA": XvalContract(),
+    "SA-ZVCG": XvalContract(),
+    "SMT-T2Q2": XvalContract(cycles=0.10),
+    "S2TA-W": XvalContract(),
+    "S2TA-AW": XvalContract(),
+    "SparTen": XvalContract(cycles=0.05),
+    "Eyeriss-v2": XvalContract(cycles=0.10),
+    "SCNN": XvalContract(cycles=None),
+}
+
+
 def xval_functional_vs_analytic(
     model: str = "alexnet",
     tech: str = "16nm",
@@ -624,25 +690,34 @@ def xval_functional_vs_analytic(
 ) -> ExperimentResult:
     """Per-layer analytic-vs-functional deltas for one benchmark network.
 
-    For every conv layer and every systolic-family accelerator, runs both
-    fidelity tiers and reports the relative deltas in cycles, fired MACs
-    and energy (functional as the denominator) plus whether the
-    structurally exact counters (SRAM bytes, MAC slots, per-class DRAM
-    bytes from the memory-hierarchy model) match. This is the validation
-    artifact behind the functional migration: the analytic models are
-    the *fast path*, and this table is the evidence they track the
-    measured ground truth. Since the skew-convention unification, the
-    cycle models are bit-equal for the four systolic execution modes
-    (SMT's queueing post-pass keeps a small statistical delta).
+    For every conv layer and every accelerator in the paper's comparison
+    — the systolic family *and* the fixed-dataflow baselines (SparTen,
+    Eyeriss v2, SCNN) — runs both fidelity tiers and reports the
+    relative deltas in cycles, fired MACs and energy (functional as the
+    denominator) plus whether the structurally exact counters (SRAM
+    bytes, MAC slots, per-class DRAM bytes from the memory-hierarchy
+    model) match. This is the validation artifact behind the functional
+    migration: the analytic models are the *fast path*, and this table
+    is the evidence they track the measured ground truth.
+
+    Every row is checked against :data:`XVAL_CONTRACT`; violations land
+    in ``result.failures`` and make ``repro experiment xval`` exit
+    non-zero. ``max_m`` subsamples layers (the CLI's ``--quick``),
+    switching to the contract's relaxed statistical bounds.
     """
     spec = get_spec(model)
-    variants = {
+    variants: Dict[str, AcceleratorModel] = {
         "SA": DenseSA(tech=tech),
         "SA-ZVCG": ZvcgSA(tech=tech),
         "SMT-T2Q2": SmtSA(tech=tech),
         "S2TA-W": S2TAW(tech=tech),
         "S2TA-AW": S2TAAW(tech=tech),
+        # The fixed-dataflow baselines run at their published nodes.
+        "SparTen": SparTen(),
+        "Eyeriss-v2": EyerissV2(),
+        "SCNN": SCNN(),
     }
+    quick = max_m is not None
 
     def _rel(ana: float, fun: float) -> float:
         if fun == 0:
@@ -650,8 +725,10 @@ def xval_functional_vs_analytic(
         return (ana - fun) / fun
 
     rows = []
+    failures = []
     worst = {"cycles": 0.0, "fired": 0.0, "energy": 0.0}
     for name, accel in variants.items():
+        contract = XVAL_CONTRACT[name]
         for layer in spec.conv_layers:
             ana = accel.run_layer(layer)
             fun = accel.run_layer_functional(layer, seed=seed, max_m=max_m)
@@ -680,6 +757,28 @@ def xval_functional_vs_analytic(
             worst["cycles"] = max(worst["cycles"], abs(d_cycles))
             worst["fired"] = max(worst["fired"], abs(d_fired))
             worst["energy"] = max(worst["energy"], abs(d_energy))
+            # --- contract enforcement ---
+            tag = f"{name}/{layer.name}"
+            fired_tol = contract.quick_fired if quick else contract.fired
+            energy_tol = contract.quick_energy if quick else contract.energy
+            if abs(d_fired) > fired_tol:
+                failures.append(
+                    f"{tag}: fired-MAC delta {d_fired * 100:.2f}% exceeds "
+                    f"{fired_tol * 100:g}%")
+            if abs(d_energy) > energy_tol:
+                failures.append(
+                    f"{tag}: energy delta {d_energy * 100:.2f}% exceeds "
+                    f"{energy_tol * 100:g}%")
+            if not quick:
+                if contract.cycles is not None and (
+                        abs(d_cycles) > contract.cycles):
+                    failures.append(
+                        f"{tag}: cycle delta {d_cycles * 100:.2f}% exceeds "
+                        f"{contract.cycles * 100:g}%")
+                if contract.exact and not (sram_exact and dram_exact):
+                    failures.append(
+                        f"{tag}: SRAM/DRAM byte counters not bit-equal "
+                        "between tiers")
     return ExperimentResult(
         artifact="Cross-validation",
         title=f"Analytic vs functional per-layer deltas ({model}, {tech})",
@@ -694,11 +793,21 @@ def xval_functional_vs_analytic(
             "cycle models share the pipelined-tile skew convention and "
             "are bit-equal for the systolic modes; SMT's slots derive "
             "from its queueing-simulated cycles and keep a small "
-            "statistical delta",
+            "statistical delta; SparTen/Eyeriss v2 differ by measured "
+            "schedule imbalance; SCNN cycles are unenforced (multiplier "
+            "fragmentation on small feature maps is emergent in the "
+            "functional tier)",
             "DRAM exact = per-operand-class off-chip bytes (weights, "
             "activations, partial sums, DBB metadata, outputs) agree "
             "bit-for-bit between tiers",
+            "contract: " + "; ".join(
+                f"{name} fired<{c.fired * 100:g}% energy<{c.energy * 100:g}%"
+                + (" cycles=bit-equal" if c.cycles == 0.0
+                   else (f" cycles<{c.cycles * 100:g}%"
+                         if c.cycles is not None else " cycles=reported"))
+                for name, c in XVAL_CONTRACT.items()),
         ],
+        failures=failures,
     )
 
 

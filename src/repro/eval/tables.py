@@ -40,19 +40,27 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
 
 @dataclass
 class ExperimentResult:
-    """One reproduced artifact: identity, data rows and commentary."""
+    """One reproduced artifact: identity, data rows and commentary.
+
+    ``failures`` carries contract violations (e.g. the cross-validation
+    artifact's per-model agreement tolerances); a non-empty list makes
+    the CLI exit non-zero after rendering the table.
+    """
 
     artifact: str            # e.g. "Figure 9d"
     title: str
     headers: List[str]
     rows: List[List] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
 
     def render(self) -> str:
         parts = [f"== {self.artifact}: {self.title} =="]
         parts.append(format_table(self.headers, self.rows))
         for note in self.notes:
             parts.append(f"note: {note}")
+        for failure in self.failures:
+            parts.append(f"FAIL: {failure}")
         return "\n".join(parts)
 
     def column(self, header: str) -> List:

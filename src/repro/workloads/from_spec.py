@@ -14,10 +14,17 @@ the analytic density profile the performance model prices:
   the *same* element density ``layer.a_density``, exactly as the analytic
   models assume).
 
-Density is hit by randomized rounding of the per-block non-zero count
-(expected element density equals the target to well under a percent at
-real layer sizes), with uniformly random positions inside each block and
-uniform non-zero INT8 magnitudes.
+Density is hit *exactly in total*: the per-block non-zero counts are a
+largest-remainder allocation of ``round(rows * width * density)``
+non-zeros across blocks (random tie-breaking keeps the allocation
+unbiased), with uniformly random positions inside each block and uniform
+non-zero INT8 magnitudes. The exact total is what lets the fixed-dataflow
+baselines (SparTen / Eyeriss v2 / SCNN) cross-validate their
+sparsity-compressed SRAM and DRAM byte counters *bit-for-bit* between the
+analytic and functional tiers: ``count_nonzero`` of a synthesized operand
+equals the analytic models' ``round(elements * density)`` closed form
+whenever ``density <= nnz_cap / block_size`` (above the cap the operand
+saturates at the cap, as before).
 
 Generated operands are memoized in :class:`OperandCache`, an LRU bounded
 by a *byte budget* rather than an entry count (a single VGG conv layer's
@@ -59,9 +66,12 @@ def blocked_density_operand(
     Blocks run along the last axis; ``width`` need not be a multiple of
     ``block_size`` (the ragged tail block simply has fewer candidate
     positions). Every block holds at most ``nnz_cap`` non-zeros, and the
-    expected element density over the valid ``rows * width`` region equals
-    ``density`` (randomized rounding of each block's real-valued target,
-    clipped to the cap — exact when ``density <= nnz_cap / block_size``).
+    total non-zero count over the valid ``rows * width`` region equals
+    ``round(rows * width * density)`` *exactly* (largest-remainder
+    allocation of the per-block real-valued targets, clipped to the cap —
+    the exact total holds whenever ``density <= nnz_cap / block_size``;
+    above it the tensor saturates at the cap). Random tie-breaking among
+    equal fractional remainders keeps the allocation unbiased.
     """
     if not 0.0 <= density <= 1.0:
         raise ValueError(f"density must be in [0, 1], got {density}")
@@ -75,11 +85,22 @@ def blocked_density_operand(
     tail = width - (kb - 1) * block_size
     valid[-1] = tail
     valid = np.broadcast_to(valid, (rows, kb)).reshape(-1)
-    # Randomized rounding of the per-block target nnz, capped.
+    # Largest-remainder allocation of the exact total across blocks
+    # (same ``round`` expression as the analytic models' stored-byte
+    # closed forms, so the two tiers agree bit-for-bit on nnz).
+    cap = np.minimum(nnz_cap, valid)
     target = density * valid
-    base = np.floor(target)
-    nnz = (base + (rng.random(valid.size) < (target - base))).astype(np.int64)
-    nnz = np.minimum(nnz, np.minimum(nnz_cap, valid))
+    nnz = np.minimum(np.floor(target).astype(np.int64), cap)
+    total = min(int(round(rows * width * density)), int(cap.sum()))
+    deficit = total - int(nnz.sum())
+    frac = target - np.floor(target)
+    tiebreak = rng.random(valid.size)
+    order = np.lexsort((tiebreak, -frac))
+    while deficit > 0:
+        room = order[(cap - nnz)[order] > 0]
+        bump = room[:deficit]
+        nnz[bump] += 1
+        deficit -= bump.size
     # Choose nnz[b] positions per block among its valid ones: rank random
     # keys per block (invalid positions get +inf) and keep the smallest.
     keys = rng.random((valid.size, block_size), dtype=np.float32)

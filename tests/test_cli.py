@@ -70,6 +70,48 @@ class TestExperiment:
         assert "worst |delta|" in out
         assert "DRAM exact" in out
 
+    @pytest.mark.functional
+    def test_xval_quick_lists_all_seven_models(self):
+        """The regression gate: every model of the paper's comparison
+        runs both tiers, and a clean run exits zero."""
+        out = main(["experiment", "xval", "--quick"])
+        for name in ("SA-ZVCG", "SMT-T2Q2", "S2TA-W", "S2TA-AW",
+                     "SparTen", "Eyeriss-v2", "SCNN"):
+            assert name in out, name
+        assert "FAIL" not in out
+
+    @pytest.mark.functional
+    def test_xval_exits_nonzero_on_contract_violation(self, monkeypatch):
+        """An impossible tolerance must flip the exit code — the CI
+        hook that keeps the agreement contract enforced."""
+        from repro.eval import experiments
+
+        monkeypatch.setitem(
+            experiments.XVAL_CONTRACT, "SparTen",
+            experiments.XvalContract(fired=0.0, energy=0.0,
+                                     quick_fired=0.0, quick_energy=0.0))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "xval", "--quick"])
+        assert "SparTen" in str(excinfo.value)
+        assert "exceeds" in str(excinfo.value)
+
+    def test_xval_rejects_functional_flag(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "xval", "--functional"])
+
+    def test_dram_pj_per_byte_on_run(self):
+        out = main(["run", "alexnet", "--accelerator", "sparten",
+                    "--conv-only", "--dram-pj-per-byte", "40"])
+        assert "SparTen" in out
+
+    def test_dram_pj_per_byte_rejected_elsewhere(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig1", "--dram-pj-per-byte", "40"])
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig12", "--dram-pj-per-byte", "-1"])
+        with pytest.raises(SystemExit):
+            main(["run", "lenet5", "--dram-pj-per-byte", "0"])
+
     def test_roofline_artifact(self):
         out = main(["experiment", "roofline"])
         assert "Roofline" in out

@@ -3,9 +3,12 @@
 The functional-simulation migration turned the analytic models into the
 *fast path*; these pins freeze the published analytic headline ratios to
 two decimals so that refactors of either tier cannot silently shift the
-numbers the reproduction reports against the paper. If a change moves
-one of these on purpose (e.g. a calibration fix), update the pin in the
-same commit and say why in its message.
+numbers the reproduction reports against the paper. The functional tier
+of the baseline accelerators (SparTen / Eyeriss v2 / SCNN) is pinned
+too (seed-fixed quick runs, 2 decimals) so refactors of the new engines
+cannot silently drift the baselines the headline speedups are measured
+against. If a change moves one of these on purpose (e.g. a calibration
+fix), update the pin in the same commit and say why in its message.
 """
 
 import pytest
@@ -74,3 +77,50 @@ class TestFig12Golden:
             == FIG12_SPARTEN_OVER_AW
         assert round(totals["Eyeriss v2 (65nm)"] / aw, 2) \
             == FIG12_EYERISS_OVER_AW
+
+
+# Functional-tier pins for the baseline engines: per-layer energies (uJ,
+# 2 decimals) of seed-0 quick (m<=128) runs of the Fig. 12 conv stack.
+# Deterministic end to end: seeded operand synthesis, deterministic
+# greedy schedules, float64 event arithmetic.
+FUNCTIONAL_BASELINE_GOLDEN = {
+    "Eyeriss-v2": {"conv1": 727.36, "conv2": 385.46, "conv3": 197.29,
+                   "conv4": 144.05, "conv5": 65.29},
+    "SparTen": {"conv1": 482.19, "conv2": 261.17, "conv3": 130.44,
+                "conv4": 95.21, "conv5": 44.35},
+    "SCNN": {"conv1": 200.76, "conv2": 105.86, "conv3": 54.07,
+             "conv4": 39.43, "conv5": 17.73},
+}
+
+
+class TestFunctionalBaselineGolden:
+    """2-decimal pins of the baselines' functional per-layer table."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        from repro.accel import SCNN, EyerissV2, SparTen
+        from repro.models import get_spec
+
+        spec = get_spec("alexnet")
+        return {
+            accel.name: accel.run_model_functional(
+                spec, conv_only=True, seed=0, max_m=128)
+            for accel in (EyerissV2(), SparTen(), SCNN())
+        }
+
+    @pytest.mark.parametrize("name", sorted(FUNCTIONAL_BASELINE_GOLDEN))
+    def test_per_layer_energies_pinned(self, runs, name):
+        for layer, pinned in FUNCTIONAL_BASELINE_GOLDEN[name].items():
+            got = runs[name].layer(layer).energy_uj
+            assert round(got, 2) == pytest.approx(pinned, abs=0.005), \
+                (f"{name}/{layer} functional energy moved from the "
+                 f"golden {pinned}")
+
+    def test_functional_tracks_analytic_pins(self, runs):
+        """The pinned functional totals stay within a few percent of
+        the analytic Fig. 12 pins — the two tiers tell one story."""
+        analytic = {"Eyeriss-v2": FIG12_TOTALS_GOLDEN["Eyeriss v2 (65nm)"],
+                    "SparTen": FIG12_TOTALS_GOLDEN["SparTen (45nm)"]}
+        for name, pinned_total in analytic.items():
+            total = runs[name].energy_uj
+            assert total == pytest.approx(pinned_total, rel=0.02), name
