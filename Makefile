@@ -18,19 +18,45 @@
 #
 #   make bench    - just the benchmark sweep + regression check.
 #   make check    - just the regression diff of existing BENCH files.
+#
+# Functional-tier execution engine (repro.eval.runner):
+#
+#   make fig-functional - full-size fig11 + fig12 functional runs on the
+#                   parallel, memoized engine (all cores, on-disk result
+#                   cache; re-runs skip straight to finalization).
+#   make cache-clear    - drop the on-disk functional-result cache
+#                   ($REPRO_CACHE_DIR, default ~/.cache/repro/results).
+#
+# `make nightly` runs the whole functional tier on the parallel runner
+# (REPRO_JOBS=0 = one worker per core) and fails when the xval
+# agreement contract trips (`repro experiment xval` exits non-zero) or
+# when the benchmark gate regresses — including the new end-to-end
+# wall-clock metric from bench_experiment_wallclock.py.
 
 PY         := PYTHONPATH=src python
 STAMP      := $(shell date -u +%Y%m%dT%H%M%SZ)
 BENCH_JSON := BENCH_$(STAMP).json
 
-.PHONY: verify nightly bench check
+.PHONY: verify nightly bench check fig-functional cache-clear
 
 verify:
 	$(PY) -m pytest -x -q
 
+# The xval gate always simulates cold (the CLI enforces it): its whole
+# point is to re-validate the *current* simulators against the
+# contract, which a stale cache entry under an unbumped CODE_VERSION
+# salt would mask.
 nightly:
-	$(PY) -m pytest -q -m slow
+	REPRO_JOBS=0 $(PY) -m pytest -q -m slow
+	$(PY) -m repro experiment xval --jobs 0
 	$(MAKE) bench
+
+fig-functional:
+	$(PY) -m repro experiment fig11 --functional --jobs 0
+	$(PY) -m repro experiment fig12 --functional --jobs 0
+
+cache-clear:
+	$(PY) -m repro cache clear
 
 # pytest-benchmark writes its JSON even when assertions fail; stage it
 # under a .tmp name (outside the BENCH_*.json glob) and promote it to a

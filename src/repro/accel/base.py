@@ -357,21 +357,27 @@ class AcceleratorModel:
         return SystolicArray(self.functional_sim_config()).run_gemm(
             a, w, **kwargs)
 
-    def run_layer_functional(
+    def simulate_layer_functional(
         self,
         layer: LayerSpec,
         seed: int = 0,
         max_m: Optional[int] = None,
         cache=None,
-    ) -> LayerResult:
-        """Execute one layer's GEMM on synthesized operands.
+    ) -> Tuple[int, EventCounts]:
+        """Measured ``(compute_cycles, events)`` of one layer's GEMM on
+        synthesized operands — the pre-finalization simulation payload.
 
-        Operands come from the shared byte-budget memo in
-        :mod:`repro.workloads.from_spec` (one synthesis per layer shape /
-        density / seed across an accelerator sweep). ``max_m`` caps the
-        simulated output-pixel rows and linearly extrapolates the
-        measured events back to the full layer — the ``quick`` CI mode of
-        the full-model experiments; leave ``None`` for exact runs.
+        This is the unit of work the parallel runner
+        (:mod:`repro.eval.runner`) fans out over worker processes and
+        the result cache (:mod:`repro.eval.resultcache`) memoizes: it
+        is a pure function of (layer spec, accelerator config, seed,
+        ``max_m``), independent of which process runs it. Operands come
+        from the byte-budget memo in :mod:`repro.workloads.from_spec`
+        (one synthesis per layer shape / density / seed across an
+        accelerator sweep). ``max_m`` caps the simulated output-pixel
+        rows and linearly extrapolates the measured events back to the
+        full layer — the ``quick`` CI mode of the full-model
+        experiments; leave ``None`` for exact runs.
         """
         from repro.workloads.from_spec import operands_for_layer
 
@@ -387,13 +393,42 @@ class AcceleratorModel:
             factor = layer.m / sub.m
             events = self._scale_functional_events(events, factor)
             compute_cycles = int(round(compute_cycles * factor))
-        # The measured events feed the same memory model as the analytic
-        # tier; on exact runs (max_m=None) the per-pass SRAM counters are
-        # bit-equal across tiers, so the DRAM bytes cross-validate
-        # exactly (asserted in tests/test_cross_validation.py). Quick
-        # runs extrapolate the counters linearly, so their DRAM profile
-        # is the same few-percent approximation as everything else
-        # quick mode reports.
+        return compute_cycles, events
+
+    def run_layer_functional(
+        self,
+        layer: LayerSpec,
+        seed: int = 0,
+        max_m: Optional[int] = None,
+        cache=None,
+        result_cache=None,
+    ) -> LayerResult:
+        """Execute one layer's GEMM on synthesized operands.
+
+        ``result_cache`` (a :class:`repro.eval.resultcache.ResultCache`)
+        memoizes the simulation payload on disk; finalization always
+        re-runs, so a cache hit is bit-equal to a cold simulation.
+
+        The measured events feed the same memory model as the analytic
+        tier; on exact runs (max_m=None) the per-pass SRAM counters are
+        bit-equal across tiers, so the DRAM bytes cross-validate
+        exactly (asserted in tests/test_cross_validation.py). Quick
+        runs extrapolate the counters linearly, so their DRAM profile
+        is the same few-percent approximation as everything else
+        quick mode reports.
+        """
+        if result_cache is not None:
+            key = result_cache.key(self, layer, seed=seed, max_m=max_m)
+            hit = result_cache.get(key)
+            if hit is not None:
+                compute_cycles, events = hit
+            else:
+                compute_cycles, events = self.simulate_layer_functional(
+                    layer, seed=seed, max_m=max_m, cache=cache)
+                result_cache.put(key, compute_cycles, events)
+        else:
+            compute_cycles, events = self.simulate_layer_functional(
+                layer, seed=seed, max_m=max_m, cache=cache)
         return self._finalize_layer(layer, compute_cycles, events)
 
     def run_model_functional(
@@ -403,25 +438,24 @@ class AcceleratorModel:
         seed: int = 0,
         max_m: Optional[int] = None,
         cache=None,
+        jobs: Optional[int] = None,
+        result_cache=None,
     ) -> AccelRunResult:
         """Functional-tier counterpart of :meth:`run_model`.
 
         Every selected layer synthesizes real INT8 operands and executes
         on the cycle simulator; results aggregate exactly like the
         analytic path, so ``run_model`` and ``run_model_functional`` are
-        directly comparable run for run.
+        directly comparable run for run. ``jobs``/``result_cache`` route
+        the layer simulations through the parallel, memoized runner
+        (:mod:`repro.eval.runner`); results are bit-equal to the serial
+        path regardless of worker count.
         """
-        layers = spec.conv_layers if conv_only else spec.layers
-        result = AccelRunResult(
-            accelerator=self.name,
-            model=spec.name,
-            tech=self.tech,
-            clock_ghz=self.clock_ghz,
-        )
-        for layer in layers:
-            result.layer_results.append(self.run_layer_functional(
-                layer, seed=seed, max_m=max_m, cache=cache))
-        return result
+        from repro.eval.runner import functional_model_runs
+
+        return functional_model_runs(
+            [(self, spec)], conv_only=conv_only, seed=seed, max_m=max_m,
+            jobs=jobs, result_cache=result_cache, operand_cache=cache)[0]
 
     # -------------------------------------------------------------- #
 

@@ -21,8 +21,10 @@ CSC-decode efficiency on top — the constant the analytic model folds
 into its ``utilization``, so the two cycle models differ only by the
 measured mesh imbalance.
 
-All counting is vectorized: the match matrix is one integer matmul and
-the per-PE occupancy one ``bincount`` over the mesh coordinates.
+All counting is vectorized and never materializes the m x n match
+matrix: the mesh slot of a matched pair depends only on the pixel and
+channel *residue classes*, so per-PE occupancy reduces to one tiny
+class-count matmul plus a rotation fold (see ``_mesh_loads``).
 """
 
 from __future__ import annotations
@@ -97,22 +99,47 @@ class EyerissV2Engine:
     def __init__(self, config: EyerissV2Config = EyerissV2Config()):
         self.config = config
 
-    def _mesh_loads(self, matches: np.ndarray) -> np.ndarray:
+    def _mesh_loads(self, a_nz: np.ndarray, w_nz: np.ndarray) -> np.ndarray:
         """Per-(cluster, PE) matched-pair loads of the row-stationary
         mapping: cluster = channel mod clusters, PE = (pixel + channel
         group) mod PEs — the group rotation keeps single-pixel (FC)
-        layers from collapsing onto one PE per cluster."""
+        layers from collapsing onto one PE per cluster.
+
+        The mesh slot of a pair depends on the pixel only through
+        ``i mod P`` and on the channel only through ``(j mod C,
+        (j // C) mod P)``, so instead of materializing the m x n match
+        matrix the loads reduce over *classes*: per-pixel-class non-zero
+        counts (P x k) against per-channel-class counts (k x C*P), one
+        tiny matmul, then the rotation folds the two pixel/group phases
+        together. Bit-identical with the match-matrix bincount it
+        replaces (integer counts, exact in float64), at O((m + n + CP)k)
+        instead of O(mkn).
+        """
         cfg = self.config
-        m, n = matches.shape
+        pes = cfg.pes_per_cluster
+        clusters = cfg.clusters
+        m, k = a_nz.shape
+        n = w_nz.shape[1]
+        pad = (-m) % pes
+        a_pad = np.concatenate(
+            [a_nz, np.zeros((pad, k), dtype=bool)]) if pad else a_nz
+        # row_counts[r, k] = number of non-zero activations at reduction
+        # index k among pixels with i mod P == r.
+        row_counts = a_pad.reshape(-1, pes, k).sum(axis=0,
+                                                   dtype=np.float64)
         j = np.arange(n, dtype=np.int64)
-        i = np.arange(m, dtype=np.int64)
-        cluster = j % cfg.clusters
-        pe = (i[:, None] + j[None, :] // cfg.clusters) % cfg.pes_per_cluster
-        slot = cluster[None, :] * cfg.pes_per_cluster + pe
-        loads = np.bincount(
-            slot.ravel(), weights=matches.ravel(),
-            minlength=cfg.clusters * cfg.pes_per_cluster)
-        return loads.astype(np.int64)
+        col_class = (j % clusters) * pes + (j // clusters) % pes
+        onehot = np.zeros((n, clusters * pes), dtype=np.float64)
+        onehot[j, col_class] = 1.0
+        col_counts = w_nz.astype(np.float64) @ onehot
+        # pair_loads[r, c, g]: matched pairs between pixel class r and
+        # channel class (c, g); the PE of such a pair is (r + g) mod P.
+        pair_loads = np.rint(row_counts @ col_counts).astype(
+            np.int64).reshape(pes, clusters, pes)
+        loads = np.zeros((clusters, pes), dtype=np.int64)
+        for r in range(pes):
+            loads += np.roll(pair_loads[r], r, axis=1)
+        return loads.reshape(-1)
 
     def run_gemm(self, a: np.ndarray, w: np.ndarray) -> EyerissV2Result:
         """Execute ``C = A @ W`` on the CSC row-stationary mesh.
@@ -130,14 +157,13 @@ class EyerissV2Engine:
         n = w.shape[1]
         a_nz = a != 0
         w_nz = w != 0
-        # Match matrix: pairs per output = popcount of the CSC column
-        # intersection; counts below 2**53 make the float64 BLAS matmul
-        # exact (the repo-wide integer-GEMM idiom).
-        matches = np.rint(
-            a_nz.astype(np.float64) @ w_nz.astype(np.float64)
-        ).astype(np.int64)
-        fired = int(matches.sum())
-        pe_loads = self._mesh_loads(matches)
+        # Matched pairs per output = popcount of the CSC column
+        # intersection; the mesh mapping reduces over pixel/channel
+        # classes without materializing the m x n match matrix (counts
+        # below 2**53 keep the float64 BLAS exact — the repo-wide
+        # integer-GEMM idiom).
+        pe_loads = self._mesh_loads(a_nz, w_nz)
+        fired = int(pe_loads.sum())
         makespan = -(-int(pe_loads.max(initial=0)) // cfg.macs_per_pe)
         cycles = math.ceil(makespan / cfg.pipeline_utilization)
 

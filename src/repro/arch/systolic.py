@@ -196,9 +196,13 @@ class SystolicArray:
         # Tiles pipeline back to back; the wavefront skew is paid once.
         cycles = tiles * k + self._skew()
         slots = tiles * cfg.rows * cfg.cols * k  # issued MAC slots (padded)
-        a_nz = (a != 0).astype(np.int64)
-        w_nz = (w != 0).astype(np.int64)
-        useful = int((a_nz @ w_nz).sum())
+        # useful = sum_{i,j,k} a_nz[i,k] * w_nz[k,j] separates per
+        # reduction index into one dot product of non-zero counts — the
+        # same collapse the DBB modes use (bit-identical with the m*k*n
+        # matmul it replaces, at O(mk + kn) instead of O(mkn)).
+        a_nz_cols = np.count_nonzero(a, axis=0).astype(np.int64)
+        w_nz_rows = np.count_nonzero(w, axis=1).astype(np.int64)
+        useful = int(a_nz_cols @ w_nz_rows)
         events = EventCounts(cycles=cycles)
         if zvcg:
             events.mac_ops = useful
@@ -214,8 +218,8 @@ class SystolicArray:
         # ZVCG gates the register when its operand is zero.
         a_hops = slots  # each activation hop feeds exactly one MAC slot
         w_hops = slots
-        a_active = int(a_nz.sum()) * tiles_n * cfg.cols
-        w_active = int(w_nz.sum()) * tiles_m * cfg.rows
+        a_active = int(a_nz_cols.sum()) * tiles_n * cfg.cols
+        w_active = int(w_nz_rows.sum()) * tiles_m * cfg.rows
         if zvcg:
             events.operand_reg_ops = min(a_active, a_hops) + min(w_active, w_hops)
             events.gated_operand_reg_ops = (

@@ -25,6 +25,21 @@ take ``--dram-bw <GB/s>`` to replace the default DRAM channel and
 enforce the roofline wall on every layer; fig11, fig12 and ``run`` take
 ``--dram-pj-per-byte`` to re-price the reported off-chip component
 (die-only totals are pinned and unaffected).
+
+The functional tier runs on the parallel, memoized experiment engine
+(:mod:`repro.eval.runner`): fig11/fig12 ``--functional`` and ``xval``
+take ``--jobs N`` to fan the per-layer simulations out over N worker
+processes (``--jobs 0`` = one per core; the ``REPRO_JOBS`` environment
+variable sets the default) — results are bit-equal to a serial run at
+the same seed. Simulated layer payloads are memoized in a
+content-addressed on-disk cache keyed on (layer spec, accelerator
+config, energy costs, memory-channel config, seed, code salt), so
+re-runs and overlapping artifacts skip straight to finalization;
+``--no-result-cache`` disables it for one invocation, and ``repro
+cache stats|clear|prune`` manages the store (``$REPRO_CACHE_DIR``,
+default ``~/.cache/repro/results``; ``REPRO_RESULT_CACHE=0`` opts out
+globally). The ``xval`` contract gate always simulates cold — a cached
+payload must never be what re-validates the agreement contract.
 """
 
 from __future__ import annotations
@@ -70,6 +85,10 @@ DRAM_BW_ARTIFACTS = ("fig11", "fig12", "roofline")
 #: Artifacts whose runners price the off-chip component and take a
 #: DRAM-energy override (dram_pj_per_byte=).
 DRAM_PJ_ARTIFACTS = ("fig11", "fig12")
+
+#: Artifacts that route layer simulations through the parallel,
+#: memoized runner (jobs=, result_cache=).
+PARALLEL_ARTIFACTS = ("fig11", "fig12", "xval")
 
 
 def _experiments() -> Dict[str, Callable]:
@@ -184,14 +203,17 @@ def cmd_experiment(args) -> str:
     seed = 0 if args.seed is None else args.seed
     if args.artifact == "all":
         if (functional_requested or args.dram_bw is not None
-                or args.dram_pj_per_byte is not None):
+                or args.dram_pj_per_byte is not None
+                or args.jobs is not None):
             raise SystemExit(
-                "--functional/--quick/--seed/--dram-bw/--dram-pj-per-byte "
+                "--functional/--quick/--seed/--jobs/--dram-bw/"
+                "--dram-pj-per-byte "
                 "apply to a single artifact, not 'all' "
                 f"({', '.join(FUNCTIONAL_ARTIFACTS)} "
                 "take the functional flags; "
                 f"{', '.join(DRAM_BW_ARTIFACTS)} take --dram-bw; "
                 f"{', '.join(DRAM_PJ_ARTIFACTS)} take --dram-pj-per-byte; "
+                f"{', '.join(PARALLEL_ARTIFACTS)} take --jobs; "
                 "xval takes --seed/--quick)")
         return "\n\n".join(run().render()
                            for name, run in experiments.items())
@@ -214,20 +236,34 @@ def cmd_experiment(args) -> str:
             f"--dram-pj-per-byte is only supported by "
             f"{', '.join(DRAM_PJ_ARTIFACTS)}, not {args.artifact!r}")
     _costs_from_args(args)  # shared --dram-pj-per-byte validation
+    if args.jobs is not None and args.artifact not in PARALLEL_ARTIFACTS:
+        raise SystemExit(
+            f"--jobs is only supported by "
+            f"{', '.join(PARALLEL_ARTIFACTS)}, not {args.artifact!r}")
+    if args.jobs is not None and args.jobs < 0:
+        raise SystemExit("--jobs must be >= 0 (0 = one worker per core)")
+    result_cache = None if args.no_result_cache else _default_result_cache()
     if args.artifact in FUNCTIONAL_ARTIFACTS:
-        if not args.functional and (args.quick or args.seed is not None):
+        if not args.functional and (args.quick or args.seed is not None
+                                    or args.jobs is not None):
             raise SystemExit(
-                "--quick/--seed tune the functional tier; pass "
+                "--quick/--seed/--jobs tune the functional tier; pass "
                 "--functional as well")
         return runner(functional=args.functional, quick=args.quick,
                       seed=seed, dram_gbps=args.dram_bw,
-                      dram_pj_per_byte=args.dram_pj_per_byte).render()
+                      dram_pj_per_byte=args.dram_pj_per_byte,
+                      jobs=args.jobs, result_cache=result_cache).render()
     if args.artifact == "xval":
         if args.functional:
             raise SystemExit("xval always runs both tiers; it takes "
                              "--seed and --quick but not --functional")
+        # The contract gate always simulates cold: serving a stale
+        # cached payload (e.g. after a simulator change under an
+        # unbumped CODE_VERSION salt) would make the gate vacuously
+        # re-validate yesterday's results.
         result = runner(seed=seed,
-                        max_m=QUICK_MAX_M if args.quick else None)
+                        max_m=QUICK_MAX_M if args.quick else None,
+                        jobs=args.jobs, result_cache=None)
         if result.failures:
             # Non-zero exit: a model broke its agreement contract.
             raise SystemExit(result.render())
@@ -246,6 +282,38 @@ def cmd_sweep(args) -> str:
     from repro.eval import sec7_design_space
 
     return sec7_design_space(top=args.top).render()
+
+
+def _default_result_cache():
+    from repro.eval.resultcache import default_result_cache
+
+    return default_result_cache()
+
+
+def cmd_cache(args) -> str:
+    """Manage the on-disk functional-result cache."""
+    from repro.eval.resultcache import ResultCache, default_cache_dir
+
+    directory = args.dir if args.dir is not None else default_cache_dir()
+    cache = ResultCache(directory)
+    if args.action == "stats":
+        stats = cache.stats()
+        return "\n".join([
+            f"result cache at {directory}:",
+            f"  entries : {stats['entries']:,}",
+            f"  bytes   : {stats['bytes']:,}",
+        ])
+    if args.action == "clear":
+        removed = cache.clear()
+        return f"cleared {removed} cached result(s) from {directory}"
+    # prune: evict oldest entries beyond the size cap
+    max_bytes = int(args.max_mb * 1024 * 1024)
+    if max_bytes <= 0:
+        raise SystemExit("--max-mb must be at least one byte's worth")
+    removed = cache.prune(max_bytes)
+    stats = cache.stats()
+    return (f"pruned {removed} entr{'y' if removed == 1 else 'ies'}; "
+            f"{stats['entries']:,} remain ({stats['bytes']:,} bytes)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -293,11 +361,38 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="PJ",
                      help="off-chip DRAM interface energy per byte "
                           "(fig11/fig12; die-only totals unaffected)")
+    exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for the functional tier "
+                          "(fig11/fig12 with --functional; xval); 0 = "
+                          "one per core; default: $REPRO_JOBS or serial. "
+                          "Results are bit-equal to serial at the same "
+                          "seed")
+    exp.add_argument("--no-result-cache", action="store_true",
+                     help="skip the on-disk functional-result cache for "
+                          "this invocation (see 'repro cache')")
     exp.set_defaults(func=cmd_experiment)
 
     sweep = sub.add_parser("sweep", help="Sec. 7 design-space sweep")
     sweep.add_argument("--top", type=int, default=8)
     sweep.set_defaults(func=cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache",
+        help="manage the on-disk functional-result cache",
+        description="The functional tier memoizes simulated layer "
+                    "payloads in a content-addressed on-disk cache "
+                    "(key: layer spec + accelerator config + energy "
+                    "costs + memory-channel config + seed + code "
+                    "salt), so re-runs and overlapping experiments "
+                    "skip straight to finalization. Location: "
+                    "$REPRO_CACHE_DIR, default ~/.cache/repro/results.")
+    cache.add_argument("action", choices=("stats", "clear", "prune"))
+    cache.add_argument("--dir", default=None,
+                       help="cache directory override")
+    cache.add_argument("--max-mb", type=float, default=256,
+                       help="size cap for 'prune' (MB; oldest entries "
+                            "evicted first; default 256)")
+    cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -42,13 +42,26 @@ def topk_block_mask(blocks: np.ndarray, keep: int) -> np.ndarray:
     n, bz = blocks.shape
     if not 0 <= keep <= bz:
         raise ValueError(f"keep must be in [0, BZ={bz}], got {keep}")
-    magnitude = np.abs(blocks.astype(np.float64))
-    # Stable argsort on -magnitude: equal magnitudes keep ascending index.
-    order = np.argsort(-magnitude, axis=1, kind="stable")
-    mask = np.zeros((n, bz), dtype=bool)
-    rows = np.arange(n)[:, None]
-    top = order[:, :keep]
-    mask[rows, top] = True
+    if keep == 0:
+        return np.zeros((n, bz), dtype=bool)
+    if keep >= bz:
+        return np.asarray(blocks != 0)
+    # Integer inputs select on a widened integer magnitude (abs(-128)
+    # overflows int8); floats go through float64 as before. Selection is
+    # threshold-based rather than a stable argsort on -magnitude, but
+    # implements the identical ordering: everything strictly above the
+    # keep-th largest magnitude is kept, and ties *at* the threshold
+    # fill the remaining quota lowest-index-first (exactly what a
+    # stable descending sort yields — the hardware comparator-cascade
+    # tie rule).
+    widen = np.int16 if blocks.dtype.itemsize == 1 else (
+        np.int64 if blocks.dtype.kind in "iu" else np.float64)
+    magnitude = np.abs(blocks.astype(widen))
+    threshold = np.sort(magnitude, axis=1)[:, bz - keep:bz - keep + 1]
+    above = magnitude > threshold
+    quota = keep - np.count_nonzero(above, axis=1, keepdims=True)
+    at = magnitude == threshold
+    mask = above | (at & (np.cumsum(at, axis=1) <= quota))
     return mask & (blocks != 0)
 
 

@@ -27,12 +27,23 @@ from repro.eval.experiments import (
     tbl5_summary,
     xval_functional_vs_analytic,
 )
+from repro.eval.resultcache import ResultCache, default_result_cache
 from repro.eval.roofline import dram_bw_sensitivity, roofline_analysis
+from repro.eval.runner import (
+    LayerSimTask,
+    functional_model_runs,
+    simulate_layer_tasks,
+)
 from repro.eval.tables import ExperimentResult, format_table
 
 __all__ = [
     "ExperimentResult",
     "format_table",
+    "ResultCache",
+    "default_result_cache",
+    "LayerSimTask",
+    "simulate_layer_tasks",
+    "functional_model_runs",
     "roofline_analysis",
     "dram_bw_sensitivity",
     "functional_operands",

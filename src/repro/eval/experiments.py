@@ -490,10 +490,35 @@ def tbl3_accuracy(quick: bool = False,
 # Figure 11
 # --------------------------------------------------------------------- #
 
+def _functional_runs(accels: Dict[str, AcceleratorModel], specs,
+                     seed: int, max_m: Optional[int],
+                     jobs: Optional[int], result_cache
+                     ) -> Dict[Tuple[str, str], "AccelRunResult"]:
+    """One parallel fan-out over every (variant, model) pair.
+
+    Flattening the whole experiment into a single task batch is what
+    lets the process pool stay saturated across models and the result
+    cache deduplicate shared layers; results come back keyed by
+    ``(variant, model-name)`` and are bit-equal to per-model serial
+    runs at the same seed.
+    """
+    from repro.eval.runner import functional_model_runs
+
+    pairs = [(name, spec) for spec in specs for name in accels]
+    runs = functional_model_runs(
+        [(accels[name], spec) for name, spec in pairs],
+        conv_only=True, seed=seed, max_m=max_m,
+        jobs=jobs, result_cache=result_cache)
+    return {(name, spec.name): run
+            for (name, spec), run in zip(pairs, runs)}
+
+
 def fig11_full_models(functional: bool = False, quick: bool = False,
                       seed: int = 0,
                       dram_gbps: Optional[float] = None,
-                      dram_pj_per_byte: Optional[float] = None
+                      dram_pj_per_byte: Optional[float] = None,
+                      jobs: Optional[int] = None,
+                      result_cache=None,
                       ) -> ExperimentResult:
     """Full-model energy reduction and speedup vs SA-ZVCG (16 nm).
 
@@ -506,24 +531,30 @@ def fig11_full_models(functional: bool = False, quick: bool = False,
     staging assumption) with an explicit bandwidth and the honest
     roofline wall on every layer — the memory-sensitivity axis;
     ``dram_pj_per_byte`` re-prices the reported off-chip component.
+    ``jobs``/``result_cache`` drive the functional tier through the
+    parallel, memoized runner (:mod:`repro.eval.runner`; bit-equal to
+    serial at the same seed).
     """
     variants = {k: v for k, v in _sa_variants(
                     dram_gbps=dram_gbps,
                     costs=_costs(dram_pj_per_byte)).items()
                 if k in SYSTOLIC_VARIANTS}
     max_m = QUICK_MAX_M if quick else None
+    specs = [get_spec(name) for name in FULL_MODELS]
+    functional_runs = (
+        _functional_runs(variants, specs, seed, max_m, jobs, result_cache)
+        if functional else {})
 
-    def _run(accel, spec):
+    def _run(name, accel, spec):
         if functional:
-            return accel.run_model_functional(spec, conv_only=True,
-                                              seed=seed, max_m=max_m)
+            return functional_runs[name, spec.name]
         return accel.run_model(spec, conv_only=True)
 
     rows = []
     aw_energy, aw_speed = [], []
-    for model_name in FULL_MODELS:
-        spec = get_spec(model_name)
-        runs = {k: _run(a, spec) for k, a in variants.items()}
+    for spec in specs:
+        model_name = spec.name
+        runs = {k: _run(k, a, spec) for k, a in variants.items()}
         base = runs["SA-ZVCG"]
         row = [model_name]
         for key in ("SMT-T2Q2", "S2TA-W", "S2TA-AW"):
@@ -569,7 +600,9 @@ def fig11_full_models(functional: bool = False, quick: bool = False,
 def fig12_alexnet_per_layer(functional: bool = False, quick: bool = False,
                             seed: int = 0,
                             dram_gbps: Optional[float] = None,
-                            dram_pj_per_byte: Optional[float] = None
+                            dram_pj_per_byte: Optional[float] = None,
+                            jobs: Optional[int] = None,
+                            result_cache=None,
                             ) -> ExperimentResult:
     """AlexNet per-layer energy across five accelerators (65/45 nm).
 
@@ -582,6 +615,8 @@ def fig12_alexnet_per_layer(functional: bool = False, quick: bool = False,
     against its own clock) with the honest roofline wall;
     ``dram_pj_per_byte`` re-prices the reported off-chip component
     (die-only totals are unaffected by construction).
+    ``jobs``/``result_cache`` drive the functional tier through the
+    parallel, memoized runner (bit-equal to serial at the same seed).
     """
     spec = get_spec("alexnet")
     kwargs = {"dram_gbps": dram_gbps, "costs": _costs(dram_pj_per_byte)}
@@ -593,14 +628,13 @@ def fig12_alexnet_per_layer(functional: bool = False, quick: bool = False,
         "S2TA-AW (65nm)": S2TAAW(tech="65nm", **kwargs),
     }
     max_m = QUICK_MAX_M if quick else None
-
-    def _run(accel):
-        if functional:
-            return accel.run_model_functional(spec, conv_only=True,
-                                              seed=seed, max_m=max_m)
-        return accel.run_model(spec, conv_only=True)
-
-    runs = {name: _run(accel) for name, accel in accels.items()}
+    if functional:
+        functional_runs = _functional_runs(
+            accels, [spec], seed, max_m, jobs, result_cache)
+        runs = {name: functional_runs[name, spec.name] for name in accels}
+    else:
+        runs = {name: accel.run_model(spec, conv_only=True)
+                for name, accel in accels.items()}
     layer_names = [l.name for l in spec.conv_layers]
     rows = []
     for name, run in runs.items():
@@ -687,6 +721,8 @@ def xval_functional_vs_analytic(
     tech: str = "16nm",
     seed: int = 0,
     max_m: Optional[int] = None,
+    jobs: Optional[int] = None,
+    result_cache=None,
 ) -> ExperimentResult:
     """Per-layer analytic-vs-functional deltas for one benchmark network.
 
@@ -704,7 +740,13 @@ def xval_functional_vs_analytic(
     in ``result.failures`` and make ``repro experiment xval`` exit
     non-zero. ``max_m`` subsamples layers (the CLI's ``--quick``),
     switching to the contract's relaxed statistical bounds.
+    ``jobs``/``result_cache`` fan the functional simulations out through
+    the parallel, memoized runner (the analytic side is closed-form and
+    stays serial); deltas are bit-equal to a serial run at the same
+    seed.
     """
+    from repro.eval.runner import LayerSimTask, simulate_layer_tasks
+
     spec = get_spec(model)
     variants: Dict[str, AcceleratorModel] = {
         "SA": DenseSA(tech=tech),
@@ -724,6 +766,18 @@ def xval_functional_vs_analytic(
             return 0.0 if ana == 0 else float("inf")
         return (ana - fun) / fun
 
+    # Functional tier: one parallel, memoized fan-out over every
+    # (accelerator, layer) pair; finalization runs in-process.
+    tasks = [LayerSimTask(accel, layer, seed=seed, max_m=max_m)
+             for accel in variants.values() for layer in spec.conv_layers]
+    payloads = simulate_layer_tasks(tasks, jobs=jobs,
+                                    result_cache=result_cache)
+    functional = {
+        (id(task.accel), task.layer.name):
+            task.accel._finalize_layer(task.layer, cycles, events)
+        for task, (cycles, events) in zip(tasks, payloads)
+    }
+
     rows = []
     failures = []
     worst = {"cycles": 0.0, "fired": 0.0, "energy": 0.0}
@@ -731,7 +785,7 @@ def xval_functional_vs_analytic(
         contract = XVAL_CONTRACT[name]
         for layer in spec.conv_layers:
             ana = accel.run_layer(layer)
-            fun = accel.run_layer_functional(layer, seed=seed, max_m=max_m)
+            fun = functional[id(accel), layer.name]
             d_cycles = _rel(ana.compute_cycles, fun.compute_cycles)
             d_fired = _rel(ana.events.mac_ops, fun.events.mac_ops)
             d_energy = _rel(ana.energy_pj, fun.energy_pj)

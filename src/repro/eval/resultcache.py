@@ -1,0 +1,256 @@
+"""Content-addressed on-disk cache for functional-simulation results.
+
+Full-size functional runs re-simulate the same (layer, accelerator,
+seed) points over and over: fig11, fig12, xval and the roofline sweeps
+all share AlexNet conv layers, and every re-invocation starts from
+scratch. This module gives the functional tier the evaluation-cache
+structure real simulator infrastructure uses (Timeloop/Accelergy-style
+caches keyed on config hashes): each simulated layer's *measured*
+``(compute_cycles, EventCounts)`` payload is frozen to disk under a
+content hash of everything that determines it —
+
+- the layer spec (GEMM shape, DBB bounds, densities, window),
+- the accelerator design point (class, functional simulator config,
+  per-layer GEMM knobs, technology node),
+- the energy cost model and the memory-channel/staging configuration,
+- the operand-synthesis seed and the quick-mode row cap,
+- a code-version salt (:data:`CODE_VERSION` — bump it whenever a
+  simulator's event accounting changes, or stale entries would silently
+  survive the change).
+
+Payloads are cached *pre-finalization* (before the memory-hierarchy
+profile and energy pricing run), which is exactly what the parallel
+runner's workers return; finalization re-runs on every consumption, so
+a cached result is bit-equal to a cold simulation by construction
+(asserted in ``tests/eval/test_runner.py``). Entries are small JSON
+files (a few hundred bytes each), written atomically, evicted oldest
+first once the directory exceeds ``max_bytes``; a corrupt or truncated
+entry reads as a miss. ``repro cache stats|clear|prune`` manages the
+default cache from the CLI.
+
+The default location is ``$REPRO_CACHE_DIR`` (falling back to
+``~/.cache/repro/results``); set ``REPRO_RESULT_CACHE=0`` to disable
+the default cache entirely (explicit :class:`ResultCache` instances
+still work — the test suite uses tmpdir caches).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from repro.arch.events import EventCounts
+
+__all__ = ["CODE_VERSION", "ResultCache", "default_result_cache"]
+
+#: Version salt folded into every cache key. Bump whenever any
+#: functional simulator's event accounting or operand synthesis
+#: changes, so stale entries can never masquerade as fresh results.
+CODE_VERSION = "pr5-v1"
+
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def _canonical(obj):
+    """Recursively normalize ``obj`` into JSON-stable primitives.
+
+    Dataclasses flatten to ``[class-name, sorted field dict]``, enums to
+    their values, floats through ``repr`` (distinguishes 0.1 from
+    0.1000000001 without platform drift). Anything unknown falls back to
+    ``repr`` — stable for the config objects this module fingerprints.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [type(obj).__name__,
+                {f.name: _canonical(getattr(obj, f.name))
+                 for f in dataclasses.fields(obj)}]
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, _canonical(obj.value)]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, float):
+        return repr(obj)
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    return repr(obj)
+
+
+class ResultCache:
+    """Content-addressed store of simulated-layer payloads.
+
+    One entry = one ``(compute_cycles, EventCounts)`` pair, the
+    pre-finalization output of
+    :meth:`repro.accel.base.AcceleratorModel.simulate_layer_functional`.
+    ``get`` returns a *fresh* :class:`EventCounts` per call — callers
+    (finalization) mutate the counters, so entries must never alias.
+    """
+
+    def __init__(self, path, max_bytes: int = DEFAULT_MAX_BYTES):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.path = pathlib.Path(path)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        # Running size estimate so ``put`` does not re-scan the whole
+        # directory per insert: seeded by one scan on the first put,
+        # advanced per entry, re-anchored whenever eviction runs.
+        # Concurrent writers make any in-process total approximate;
+        # eviction is best-effort by design.
+        self._approx_bytes: Optional[int] = None
+
+    # ------------------------------------------------------------- #
+    # keys
+    # ------------------------------------------------------------- #
+
+    def key(self, accel, layer, seed: int = 0,
+            max_m: Optional[int] = None) -> str:
+        """Content hash of everything that determines one layer's
+        functional-simulation payload (see the module docstring for the
+        component list)."""
+        fingerprint = {
+            "code_version": CODE_VERSION,
+            "accel_class": type(accel).__qualname__,
+            "accel_name": accel.name,
+            "tech": accel.tech,
+            "sim_config": _canonical(accel.functional_sim_config()),
+            "gemm_kwargs": _canonical(accel._functional_gemm_kwargs(layer)),
+            "costs": _canonical(accel.costs),
+            "dram": _canonical(accel.memory.dram),
+            "sram": _canonical(accel.memory.sram),
+            "layer": _canonical(layer),
+            "seed": int(seed),
+            "max_m": None if max_m is None else int(max_m),
+        }
+        blob = json.dumps(fingerprint, sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _entry_path(self, key: str) -> pathlib.Path:
+        return self.path / f"{key}.json"
+
+    # ------------------------------------------------------------- #
+    # get / put
+    # ------------------------------------------------------------- #
+
+    def get(self, key: str) -> Optional[Tuple[int, EventCounts]]:
+        """The cached payload, or ``None`` on miss / corrupt entry."""
+        path = self._entry_path(key)
+        try:
+            payload = json.loads(path.read_text())
+            compute_cycles = payload["compute_cycles"]
+            events = EventCounts(**payload["events"])
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return int(compute_cycles), events
+
+    def put(self, key: str, compute_cycles: int,
+            events: EventCounts) -> None:
+        """Freeze one payload (atomic write, then size-cap eviction)."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps({
+            "code_version": CODE_VERSION,
+            "compute_cycles": int(compute_cycles),
+            "events": events.as_dict(),
+        }, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, self._entry_path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if self._approx_bytes is None:
+            self._approx_bytes = sum(size for _, size, _ in self._entries())
+        else:
+            self._approx_bytes += len(blob)
+        if self._approx_bytes > self.max_bytes:
+            self.prune(self.max_bytes)
+
+    # ------------------------------------------------------------- #
+    # maintenance
+    # ------------------------------------------------------------- #
+
+    def _entries(self):
+        if not self.path.is_dir():
+            return []
+        out = []
+        for path in self.path.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((path, stat.st_size, stat.st_mtime))
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        entries = self._entries()
+        return {
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict oldest entries until the store fits ``max_bytes``;
+        returns the number of entries removed."""
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        entries = sorted(self._entries(), key=lambda e: e[2])
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for path, size, _ in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self._approx_bytes = total
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path, _, _ in self._entries():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        self.hits = 0
+        self.misses = 0
+        self._approx_bytes = 0
+        return removed
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or the user-level default location."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro" / "results"
+
+
+def default_result_cache() -> Optional[ResultCache]:
+    """The process-default on-disk cache (what the CLI uses), or
+    ``None`` when ``REPRO_RESULT_CACHE=0`` disables it."""
+    if os.environ.get("REPRO_RESULT_CACHE", "1") == "0":
+        return None
+    return ResultCache(default_cache_dir())

@@ -1,0 +1,246 @@
+"""Parallel, memoized execution engine for the functional tier.
+
+Every functional experiment decomposes into independent *layer
+simulation tasks* — one ``(accelerator, layer, seed, max_m)`` point
+whose payload is the measured ``(compute_cycles, EventCounts)`` of
+:meth:`repro.accel.base.AcceleratorModel.simulate_layer_functional`.
+The tasks are embarrassingly parallel (operand synthesis is seeded
+deterministically from the layer spec, so a task's result is
+independent of where or when it runs) and perfectly memoizable (the
+payload is a pure function of the task fingerprint). This module
+exploits both:
+
+- :func:`simulate_layer_tasks` fans a task list out over a process
+  pool (``jobs`` workers; ``0`` = all cores; the ``REPRO_JOBS``
+  environment variable supplies the default, which is what lets
+  ``make nightly`` run the whole functional tier parallel by default)
+  and consults a :class:`~repro.eval.resultcache.ResultCache` before
+  dispatching, so overlapping experiments (fig11 / fig12 / xval share
+  AlexNet layers) and re-runs hit the on-disk store instead of
+  re-simulating. Results are returned in task order and are bit-equal
+  to a serial run at the same seed regardless of worker count
+  (asserted in ``tests/eval/test_runner.py``).
+- :func:`functional_model_runs` is the whole-experiment entry point:
+  it flattens many ``(accelerator, model)`` requests into one task
+  batch — so fig11's 4 models x 4 variants saturate the pool as one
+  fan-out, not 16 serial loops — and finalizes each payload through
+  the owning accelerator's memory-hierarchy/energy pipeline in the
+  parent process (finalization is closed-form and cheap; only the
+  simulation fans out).
+
+Worker processes keep their own process-local
+:class:`~repro.workloads.from_spec.OperandCache`; the pool initializer
+shrinks each worker's byte budget to its share of the parent's, so the
+aggregate resident operand bytes stay within the configured budget
+(see the OperandCache docs and ``tests/workloads/test_from_spec.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from repro.accel.base import AcceleratorModel, AccelRunResult
+from repro.arch.events import EventCounts
+from repro.eval.resultcache import ResultCache
+from repro.models.specs import LayerSpec, ModelSpec
+
+__all__ = [
+    "LayerSimTask",
+    "resolve_jobs",
+    "simulate_layer_tasks",
+    "functional_model_runs",
+]
+
+#: Floor on a pool worker's operand-cache byte budget — a worker must
+#: always be able to hold at least one large layer's operands while it
+#: simulates them (entries above the budget are synthesized but not
+#: retained, so correctness never depends on this; only re-synthesis
+#: rate does).
+MIN_WORKER_OPERAND_BUDGET = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True, eq=False)
+class LayerSimTask:
+    """One functional-simulation work unit (the fan-out granule)."""
+
+    accel: AcceleratorModel
+    layer: LayerSpec
+    seed: int = 0
+    max_m: Optional[int] = None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count: ``None`` defers to ``$REPRO_JOBS`` (default 1,
+    i.e. serial); ``0`` means one worker per core."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer worker count "
+                    f"(0 = one per core), got {env!r}") from None
+        else:
+            jobs = 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _worker_init(operand_budget: int) -> None:
+    """Pool initializer: cap this worker's process-local operand cache
+    at its share of the parent's byte budget."""
+    from repro.workloads.from_spec import default_operand_cache
+
+    default_operand_cache().resize(operand_budget)
+
+
+def _simulate_task(task: LayerSimTask) -> Tuple[int, EventCounts]:
+    """Worker body — module-level so the pool can pickle it."""
+    return task.accel.simulate_layer_functional(
+        task.layer, seed=task.seed, max_m=task.max_m)
+
+
+def _copy_events(payload: Tuple[int, EventCounts]
+                 ) -> Tuple[int, EventCounts]:
+    """Fresh ``EventCounts`` per consumer — finalization mutates the
+    counters (cycles, DRAM bytes), so deduplicated tasks and cache
+    entries must never share one object."""
+    compute_cycles, events = payload
+    return compute_cycles, EventCounts(**events.as_dict())
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap start, copy-on-write operand cache);
+    fall back to the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def simulate_layer_tasks(
+    tasks: Sequence[LayerSimTask],
+    jobs: Optional[int] = None,
+    result_cache: Optional[ResultCache] = None,
+    operand_cache=None,
+) -> List[Tuple[int, EventCounts]]:
+    """Simulate every task, parallel and memoized; results in task order.
+
+    Cache hits (and in-batch duplicates — the same key appearing twice
+    in ``tasks``) never dispatch to the pool; misses fan out over
+    ``jobs`` workers (serial when 1 or when only one miss remains) and
+    are frozen into ``result_cache`` as they complete. ``operand_cache``
+    overrides the process-default operand memo on the *serial* path
+    only — worker processes always use their own process-local caches.
+    """
+    jobs = resolve_jobs(jobs)
+    results: Dict[int, Tuple[int, EventCounts]] = {}
+    keys: List[Optional[str]] = []
+    pending: List[int] = []
+    dup_of: Dict[int, int] = {}
+    first_with_key: Dict[str, int] = {}
+    for i, task in enumerate(tasks):
+        key = None
+        if result_cache is not None:
+            key = result_cache.key(task.accel, task.layer,
+                                   seed=task.seed, max_m=task.max_m)
+            hit = result_cache.get(key)
+            if hit is not None:
+                keys.append(key)
+                results[i] = hit
+                continue
+        keys.append(key)
+        if key is not None and key in first_with_key:
+            dup_of[i] = first_with_key[key]
+            continue
+        if key is not None:
+            first_with_key[key] = i
+        pending.append(i)
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            from repro.workloads.from_spec import default_operand_cache
+
+            workers = min(jobs, len(pending))
+            budget = max(default_operand_cache().max_bytes // workers,
+                         MIN_WORKER_OPERAND_BUDGET)
+            with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=_pool_context(),
+                    initializer=_worker_init,
+                    initargs=(budget,)) as pool:
+                payloads = list(pool.map(
+                    _simulate_task, [tasks[i] for i in pending],
+                    chunksize=1))
+        else:
+            payloads = [
+                tasks[i].accel.simulate_layer_functional(
+                    tasks[i].layer, seed=tasks[i].seed,
+                    max_m=tasks[i].max_m, cache=operand_cache)
+                for i in pending
+            ]
+        for i, payload in zip(pending, payloads):
+            results[i] = payload
+            if result_cache is not None and keys[i] is not None:
+                result_cache.put(keys[i], payload[0], payload[1])
+    for i, j in dup_of.items():
+        results[i] = results[j]
+    return [_copy_events(results[i]) for i in range(len(tasks))]
+
+
+def functional_model_runs(
+    requests: Sequence[Tuple[AcceleratorModel, ModelSpec]],
+    *,
+    conv_only: bool = False,
+    seed: int = 0,
+    max_m: Optional[int] = None,
+    jobs: Optional[int] = None,
+    result_cache: Optional[ResultCache] = None,
+    operand_cache=None,
+) -> List[AccelRunResult]:
+    """Run many (accelerator, model) pairs as one parallel fan-out.
+
+    The full-model experiments route through this: all layer tasks of
+    every request flatten into a single :func:`simulate_layer_tasks`
+    batch (maximizing pool occupancy and cache sharing across
+    accelerator variants), then each payload finalizes through its
+    accelerator's memory-hierarchy and energy pipeline exactly as the
+    serial :meth:`~repro.accel.base.AcceleratorModel.run_model_functional`
+    would — the two paths are bit-equal by construction.
+    """
+    tasks: List[LayerSimTask] = []
+    spans: List[Tuple[AcceleratorModel, ModelSpec, List[LayerSpec]]] = []
+    for accel, spec in requests:
+        layers = list(spec.conv_layers if conv_only else spec.layers)
+        spans.append((accel, spec, layers))
+        tasks.extend(
+            LayerSimTask(accel, layer, seed=seed, max_m=max_m)
+            for layer in layers)
+    payloads = simulate_layer_tasks(
+        tasks, jobs=jobs, result_cache=result_cache,
+        operand_cache=operand_cache)
+    out: List[AccelRunResult] = []
+    pos = 0
+    for accel, spec, layers in spans:
+        run = AccelRunResult(
+            accelerator=accel.name,
+            model=spec.name,
+            tech=accel.tech,
+            clock_ghz=accel.clock_ghz,
+        )
+        for layer in layers:
+            compute_cycles, events = payloads[pos]
+            pos += 1
+            run.layer_results.append(
+                accel._finalize_layer(layer, compute_cycles, events))
+        out.append(run)
+    return out

@@ -36,6 +36,7 @@ synthesized once per (shape, density, seed) point.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -110,8 +111,14 @@ def blocked_density_operand(
     mask = np.zeros_like(chosen)
     np.put_along_axis(mask, order, chosen, axis=1)
     magnitude = rng.integers(1, 128, size=mask.shape, dtype=np.int16)
-    sign = rng.integers(0, 2, size=mask.shape, dtype=np.int16) * 2 - 1
-    out = np.where(mask, magnitude * sign, 0).astype(dtype)
+    sign = rng.integers(0, 2, size=mask.shape, dtype=np.int16)
+    # In-place (same RNG draws, same values as the where(mask, m*s, 0)
+    # formulation — the seed-fixed operand streams must not change):
+    sign *= 2
+    sign -= 1
+    np.multiply(magnitude, sign, out=magnitude)
+    np.multiply(magnitude, mask, out=magnitude, casting="unsafe")
+    out = magnitude.astype(dtype)
     return out.reshape(rows, padded)[:, :width]
 
 
@@ -147,6 +154,19 @@ class OperandCache:
     the resident operand bytes exceed ``max_bytes``. Entries larger than
     the whole budget are synthesized but never retained. Cached arrays
     are marked read-only — they are shared across accelerator variants.
+
+    **Multi-process semantics** (the parallel experiment runner,
+    :mod:`repro.eval.runner`): the cache is *process-local*. Worker
+    processes never share entries, budget accounting or hit/miss stats
+    with the parent or each other — a ``fork``-started worker inherits a
+    copy-on-write snapshot of the parent's entries (read-only arrays,
+    shared physical pages until evicted) and diverges from there; a
+    ``spawn``-started worker begins empty. The pool initializer calls
+    :meth:`resize` in each worker so that every worker's budget is its
+    share of the parent's total — the aggregate resident bytes across
+    workers stay within one configured budget, and no cross-process
+    locking is needed because no state is shared. Within one process the
+    cache is additionally thread-safe (a lock guards the LRU structure).
     """
 
     def __init__(self, max_bytes: int = 512 * 1024 * 1024):
@@ -155,6 +175,7 @@ class OperandCache:
         self.max_bytes = max_bytes
         self._entries: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" \
             = OrderedDict()
+        self._lock = threading.Lock()
         self.current_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -168,31 +189,64 @@ class OperandCache:
     def get(self, layer: LayerSpec, seed: int = 0
             ) -> Tuple[np.ndarray, np.ndarray]:
         key = self._key(layer, seed)
-        hit = self._entries.get(key)
-        if hit is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return hit
-        self.misses += 1
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return hit
+            self.misses += 1
+        # Synthesis runs outside the lock (it is the expensive part and
+        # touches no shared state); a racing thread may synthesize the
+        # same entry concurrently, in which case the first insert wins
+        # (identical read-only arrays) and the loser's copy is dropped
+        # without touching the byte accounting.
         a, w = spec_operands(layer, seed=seed)
         a.setflags(write=False)
         w.setflags(write=False)
         item_bytes = a.nbytes + w.nbytes
-        if item_bytes <= self.max_bytes:
-            self._entries[key] = (a, w)
-            self.current_bytes += item_bytes
-            while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+        with self._lock:
+            raced = self._entries.get(key)
+            if raced is not None:
+                self._entries.move_to_end(key)
+                return raced
+            if item_bytes <= self.max_bytes:
+                self._entries[key] = (a, w)
+                self.current_bytes += item_bytes
+                self._evict_to_budget()
+        return a, w
+
+    def _evict_to_budget(self) -> None:
+        """Drop LRU entries until within budget (lock held by caller)."""
+        while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+            _, (ea, ew) = self._entries.popitem(last=False)
+            self.current_bytes -= ea.nbytes + ew.nbytes
+            self.evictions += 1
+
+    def resize(self, max_bytes: int) -> None:
+        """Re-budget the cache (evicting LRU entries if shrinking) —
+        how the parallel runner's pool initializer gives each worker its
+        share of the parent's budget."""
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        with self._lock:
+            self.max_bytes = max_bytes
+            # A shrunk budget may strand a single oversized entry; the
+            # loop below keeps at least one entry, so drop it explicitly
+            # when even alone it exceeds the new budget.
+            self._evict_to_budget()
+            if self.current_bytes > self.max_bytes and self._entries:
                 _, (ea, ew) = self._entries.popitem(last=False)
                 self.current_bytes -= ea.nbytes + ew.nbytes
                 self.evictions += 1
-        return a, w
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.current_bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> Dict[str, int]:
         return {

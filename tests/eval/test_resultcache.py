@@ -1,0 +1,135 @@
+"""The content-addressed on-disk result cache
+(:mod:`repro.eval.resultcache`).
+
+Key sensitivity is the safety property: two configurations that could
+produce different simulation payloads must never share a key — the
+key must cover the layer spec, the accelerator design point, the
+energy costs, the memory-channel config, the seed and the quick-mode
+cap (the ISSUE-5 key contract), plus the code-version salt.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.accel import S2TAAW, SmtSA, ZvcgSA
+from repro.arch.events import EventCounts
+from repro.energy.costs import DEFAULT_COSTS
+from repro.eval import resultcache
+from repro.eval.resultcache import ResultCache, default_result_cache
+from repro.models import get_spec
+
+CONV2 = get_spec("alexnet").conv_layers[1]
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "results")
+
+
+class TestKey:
+    def test_stable_across_instances(self, cache, tmp_path):
+        other = ResultCache(tmp_path / "elsewhere")
+        assert cache.key(ZvcgSA(), CONV2) == other.key(ZvcgSA(), CONV2)
+        assert cache.key(ZvcgSA(), CONV2) \
+            == cache.key(ZvcgSA(), CONV2, seed=0, max_m=None)
+
+    @pytest.mark.parametrize("variant", [
+        ("seed", lambda c: c.key(ZvcgSA(), CONV2, seed=1)),
+        ("max_m", lambda c: c.key(ZvcgSA(), CONV2, max_m=64)),
+        ("accel", lambda c: c.key(S2TAAW(), CONV2)),
+        ("accel-config", lambda c: c.key(SmtSA(fifo_depth=4), CONV2)),
+        ("tech", lambda c: c.key(ZvcgSA(tech="65nm"), CONV2)),
+        ("dram", lambda c: c.key(ZvcgSA(dram_gbps=64.0), CONV2)),
+        ("costs", lambda c: c.key(
+            ZvcgSA(costs=dataclasses.replace(DEFAULT_COSTS,
+                                             dram_pj_per_byte=40.0)),
+            CONV2)),
+        ("layer-shape", lambda c: c.key(
+            ZvcgSA(), dataclasses.replace(CONV2, m=CONV2.m + 1))),
+        ("layer-density", lambda c: c.key(
+            ZvcgSA(), dataclasses.replace(CONV2, a_nnz=2))),
+    ], ids=lambda v: v[0])
+    def test_key_covers_every_input(self, cache, variant):
+        _, make_key = variant
+        assert make_key(cache) != cache.key(ZvcgSA(), CONV2)
+
+    def test_baseline_smt_depths_share_nothing(self, cache):
+        assert cache.key(SmtSA(fifo_depth=2), CONV2) \
+            != cache.key(SmtSA(fifo_depth=4), CONV2)
+
+    def test_code_version_salts_key(self, cache, monkeypatch):
+        base = cache.key(ZvcgSA(), CONV2)
+        monkeypatch.setattr(resultcache, "CODE_VERSION", "other")
+        assert cache.key(ZvcgSA(), CONV2) != base
+
+
+class TestStore:
+    def test_roundtrip(self, cache):
+        events = EventCounts(cycles=7, mac_ops=11, sram_a_read_bytes=13)
+        cache.put("deadbeef", 42, events)
+        got = cache.get("deadbeef")
+        assert got == (42, events)
+        # A fresh object per get — consumers mutate counters.
+        assert got[1] is not events
+        assert cache.get("deadbeef")[1] is not got[1]
+
+    def test_miss(self, cache):
+        assert cache.get("0" * 64) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_corrupt_entry_reads_as_miss(self, cache):
+        cache.put("cafe", 1, EventCounts(cycles=1))
+        (cache.path / "cafe.json").write_text("{truncated")
+        assert cache.get("cafe") is None
+
+    def test_wrong_schema_reads_as_miss(self, cache):
+        cache.path.mkdir(parents=True, exist_ok=True)
+        (cache.path / "odd.json").write_text(
+            json.dumps({"compute_cycles": 1,
+                        "events": {"no_such_counter": 3}}))
+        assert cache.get("odd") is None
+
+    def test_clear(self, cache):
+        for i in range(3):
+            cache.put(f"k{i}", i, EventCounts(cycles=i))
+        assert cache.clear() == 3
+        assert cache.stats() == {"entries": 0, "bytes": 0,
+                                 "hits": 0, "misses": 0}
+
+    def test_size_cap_evicts_oldest(self, cache, tmp_path):
+        import os
+        import time
+
+        cache.put("old", 1, EventCounts(cycles=1))
+        cache.put("new", 2, EventCounts(cycles=2))
+        now = time.time()
+        os.utime(cache._entry_path("old"), (now - 100, now - 100))
+        entry_bytes = cache._entry_path("new").stat().st_size
+        assert cache.prune(entry_bytes + 1) == 1
+        assert cache.get("old") is None
+        assert cache.get("new") is not None
+
+    def test_put_enforces_configured_cap(self, tmp_path):
+        small = ResultCache(tmp_path, max_bytes=600)
+        for i in range(5):
+            small.put(f"k{i}", i, EventCounts(cycles=i))
+        assert small.stats()["bytes"] <= 600
+        assert small.stats()["entries"] < 5
+
+    def test_invalid_budgets_rejected(self, tmp_path, cache):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=0)
+        with pytest.raises(ValueError):
+            cache.prune(0)
+
+
+class TestDefaultCache:
+    def test_env_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "x"))
+        assert default_result_cache().path == tmp_path / "x"
+
+    def test_opt_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
+        assert default_result_cache() is None

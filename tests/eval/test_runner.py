@@ -1,0 +1,180 @@
+"""The parallel, memoized experiment engine (:mod:`repro.eval.runner`).
+
+The two contracts everything else leans on:
+
+- **Determinism** — a parallel run (>= 4 workers) is bit-equal to the
+  serial run at the same seed, and a cache-hit re-run is bit-equal to a
+  cold run (the ISSUE-5 acceptance bound, asserted here at quick size
+  and in ``benchmarks/bench_experiment_wallclock.py`` at full size).
+- **Memoization** — cache hits and in-batch duplicates never
+  re-simulate, and consumers never alias one ``EventCounts`` object.
+"""
+
+import os
+
+import pytest
+
+from repro.accel import S2TAAW, SparTen, ZvcgSA
+from repro.eval.experiments import (
+    QUICK_MAX_M,
+    fig12_alexnet_per_layer,
+    xval_functional_vs_analytic,
+)
+from repro.eval.resultcache import ResultCache
+from repro.eval.runner import (
+    LayerSimTask,
+    functional_model_runs,
+    resolve_jobs,
+    simulate_layer_tasks,
+)
+from repro.models import get_spec
+
+ALEXNET = get_spec("alexnet")
+CONV2 = ALEXNET.conv_layers[1]
+QUICK = 32  # rows per layer in these tests — keeps tier-1 fast
+
+
+def _tasks(accels, layers, seed=0, max_m=QUICK):
+    return [LayerSimTask(accel, layer, seed=seed, max_m=max_m)
+            for accel in accels for layer in layers]
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_malformed_env_named_in_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "all")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+
+
+class TestSimulateLayerTasks:
+    def test_results_in_task_order(self):
+        layers = ALEXNET.conv_layers[:3]
+        tasks = _tasks([ZvcgSA()], layers)
+        payloads = simulate_layer_tasks(tasks, jobs=1)
+        serial = [t.accel.simulate_layer_functional(t.layer, seed=0,
+                                                    max_m=QUICK)
+                  for t in tasks]
+        for (cycles, events), (ref_cycles, ref_events) in zip(payloads,
+                                                              serial):
+            assert cycles == ref_cycles
+            assert events == ref_events
+
+    @pytest.mark.functional
+    def test_parallel_bit_equal_serial(self):
+        tasks = _tasks([ZvcgSA(), S2TAAW(), SparTen()],
+                       ALEXNET.conv_layers[:2])
+        serial = simulate_layer_tasks(tasks, jobs=1)
+        parallel = simulate_layer_tasks(tasks, jobs=4)
+        assert serial == parallel
+
+    def test_cache_hits_skip_simulation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = _tasks([ZvcgSA()], [CONV2])
+        cold = simulate_layer_tasks(tasks, jobs=1, result_cache=cache)
+        assert cache.stats()["entries"] == 1
+        misses_after_cold = cache.misses
+        warm = simulate_layer_tasks(tasks, jobs=1, result_cache=cache)
+        assert warm == cold
+        # The warm pass looked up once and missed zero times.
+        assert cache.misses == misses_after_cold
+        assert cache.hits >= 1
+
+    def test_in_batch_duplicates_simulate_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = LayerSimTask(ZvcgSA(), CONV2, seed=0, max_m=QUICK)
+        payloads = simulate_layer_tasks([task, task, task], jobs=1,
+                                        result_cache=cache)
+        assert payloads[0] == payloads[1] == payloads[2]
+        assert cache.stats()["entries"] == 1
+
+    def test_consumers_never_alias_events(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = LayerSimTask(ZvcgSA(), CONV2, seed=0, max_m=QUICK)
+        first, second = simulate_layer_tasks([task, task], jobs=1,
+                                             result_cache=cache)
+        assert first[1] is not second[1]
+        first[1].cycles += 1  # finalization mutates counters
+        assert first[1] != second[1]
+
+    def test_seed_changes_results(self):
+        base = simulate_layer_tasks(_tasks([ZvcgSA()], [CONV2], seed=0))
+        other = simulate_layer_tasks(_tasks([ZvcgSA()], [CONV2], seed=1))
+        assert base != other
+
+
+class TestFunctionalModelRuns:
+    def test_matches_run_model_functional(self):
+        accel = ZvcgSA()
+        batched, = functional_model_runs([(accel, ALEXNET)],
+                                         conv_only=True, seed=0,
+                                         max_m=QUICK)
+        direct = accel.run_model_functional(ALEXNET, conv_only=True,
+                                            seed=0, max_m=QUICK)
+        assert batched.energy_uj == direct.energy_uj
+        assert batched.total_cycles == direct.total_cycles
+        assert [r.events for r in batched.layer_results] \
+            == [r.events for r in direct.layer_results]
+
+    def test_many_requests_one_batch(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runs = functional_model_runs(
+            [(ZvcgSA(), ALEXNET), (S2TAAW(), ALEXNET)],
+            conv_only=True, seed=0, max_m=QUICK, result_cache=cache)
+        assert [r.accelerator for r in runs] == ["SA-ZVCG", "S2TA-AW"]
+        assert cache.stats()["entries"] == 2 * len(ALEXNET.conv_layers)
+
+
+class TestExperimentDeterminism:
+    """The ISSUE-5 acceptance bounds at quick size."""
+
+    @pytest.mark.functional
+    def test_fig12_parallel_bit_equal_serial(self):
+        serial = fig12_alexnet_per_layer(functional=True, quick=True,
+                                         seed=0, jobs=1)
+        parallel = fig12_alexnet_per_layer(functional=True, quick=True,
+                                           seed=0, jobs=4)
+        assert parallel.rows == serial.rows
+
+    @pytest.mark.functional
+    def test_fig12_cache_hit_bit_equal_cold(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = fig12_alexnet_per_layer(functional=True, quick=True,
+                                       seed=0, result_cache=cache)
+        assert cache.stats()["entries"] > 0
+        warm = fig12_alexnet_per_layer(functional=True, quick=True,
+                                       seed=0, result_cache=cache)
+        assert warm.rows == cold.rows
+        bare = fig12_alexnet_per_layer(functional=True, quick=True,
+                                       seed=0)
+        assert bare.rows == cold.rows
+
+    @pytest.mark.functional
+    def test_xval_parallel_and_cached_bit_equal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        serial = xval_functional_vs_analytic(max_m=QUICK_MAX_M, seed=0)
+        parallel = xval_functional_vs_analytic(max_m=QUICK_MAX_M, seed=0,
+                                               jobs=4, result_cache=cache)
+        cached = xval_functional_vs_analytic(max_m=QUICK_MAX_M, seed=0,
+                                             result_cache=cache)
+        assert parallel.rows == serial.rows
+        assert cached.rows == serial.rows
+        assert serial.failures == parallel.failures == cached.failures

@@ -142,3 +142,67 @@ class TestSweep:
         out = main(["sweep", "--top", "3"])
         assert "Section 7" in out
         assert "8x4x4" in out
+
+
+class TestJobsFlag:
+    @pytest.mark.functional
+    def test_fig12_functional_with_jobs(self):
+        out = main(["experiment", "fig12", "--functional", "--quick",
+                    "--jobs", "2"])
+        assert "functional simulation" in out
+
+    def test_jobs_requires_functional_on_full_model_artifacts(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig12", "--jobs", "2"])
+
+    def test_jobs_rejected_for_non_parallel_artifacts(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig1", "--jobs", "2"])
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "xval", "--jobs", "-1"])
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_dir(self, tmp_path):
+        out = main(["cache", "stats", "--dir", str(tmp_path / "rc")])
+        assert "entries : 0" in out
+
+    @pytest.mark.functional
+    def test_functional_run_populates_then_clear(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "rc"))
+        main(["experiment", "fig12", "--functional", "--quick"])
+        out = main(["cache", "stats"])
+        assert "entries : 25" in out
+        out = main(["cache", "clear"])
+        assert "cleared 25" in out
+        assert "entries : 0" in main(["cache", "stats"])
+
+    @pytest.mark.functional
+    def test_no_result_cache_skips_the_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "rc"))
+        main(["experiment", "fig12", "--functional", "--quick",
+              "--no-result-cache"])
+        assert "entries : 0" in main(["cache", "stats"])
+
+    def test_prune_validates_cap(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--dir", str(tmp_path),
+                  "--max-mb", "0"])
+
+    def test_prune_rejects_sub_byte_fractional_cap(self, tmp_path):
+        # 1e-7 MB truncates to 0 bytes; must be a clean CLI error,
+        # not a ValueError traceback from ResultCache.prune.
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--dir", str(tmp_path),
+                  "--max-mb", "0.0000001"])
+
+    @pytest.mark.functional
+    def test_xval_gate_always_runs_cold(self, tmp_path, monkeypatch):
+        """The contract gate must re-simulate even when the default
+        result cache holds entries for its layers."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "rc"))
+        main(["experiment", "xval", "--quick"])
+        assert "entries : 0" in main(["cache", "stats"])

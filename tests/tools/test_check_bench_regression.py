@@ -39,6 +39,37 @@ class TestThroughputOf:
         assert cbr.throughput_of({"stats": {"mean": 0.25}}) \
             == (4.0, "runs/s")
 
+    def test_wallclock_beats_call_rate(self):
+        """The experiment-wallclock benchmarks gate on their recorded
+        end-to-end seconds (inverted to higher-is-better), not on the
+        pytest-benchmark mean."""
+        record = {"stats": {"mean": 0.5},
+                  "extra_info": {"wallclock_s": 2.0, "workers": 4}}
+        assert cbr.throughput_of(record) == (0.5, "runs/s (wall-clock)")
+
+    def test_macs_per_s_beats_wallclock(self):
+        record = {"stats": {"mean": 0.5},
+                  "extra_info": {"macs_per_s": 1e9, "wallclock_s": 2.0}}
+        assert cbr.throughput_of(record) == (1e9, "macs/s")
+
+    def test_wallclock_regression_fails_gate(self, tmp_path, capsys):
+        import json
+
+        def bench_file(path, stamp, wallclock):
+            path.write_text(json.dumps({
+                "datetime": stamp,
+                "benchmarks": [{
+                    "fullname": "bench::fig12_wallclock",
+                    "stats": {"mean": wallclock},
+                    "extra_info": {"wallclock_s": wallclock},
+                }],
+            }))
+
+        bench_file(tmp_path / "BENCH_1.json", "2026-07-29T00:00:00", 10.0)
+        bench_file(tmp_path / "BENCH_2.json", "2026-07-30T00:00:00", 15.0)
+        assert cbr.main(["--dir", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
     def test_unusable_record_skipped(self):
         assert cbr.throughput_of({"stats": {"mean": 0}}) is None
 

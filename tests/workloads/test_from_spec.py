@@ -320,3 +320,108 @@ class TestCompressCacheStats:
         assert stats["misses"] == 1
         assert stats["hits"] == 2
         clear_compress_cache()
+
+
+def _worker_cache_probe(args):
+    """Pool worker: exercise this process's default operand cache and
+    report its budget/stats (module-level so the pool can pickle it)."""
+    import os
+
+    from repro.workloads.from_spec import default_operand_cache
+
+    m, k, n, seed = args
+    cache = default_operand_cache()
+    layer = LayerSpec("probe", LayerKind.CONV, m=m, k=k, n=n,
+                      w_nnz=4, a_nnz=4)
+    a, w = cache.get(layer, seed=seed)
+    return {
+        "pid": os.getpid(),
+        "max_bytes": cache.max_bytes,
+        "current_bytes": cache.current_bytes,
+        "misses": cache.misses,
+        "read_only": (not a.flags.writeable) and (not w.flags.writeable),
+    }
+
+
+class TestOperandCacheMultiProcess:
+    """The runner's documented process-local cache semantics: workers
+    never corrupt or double-count the parent's byte budget."""
+
+    def test_resize_rebudgets_and_evicts(self):
+        cache = OperandCache(max_bytes=1 << 20)
+        big = _layer(m=256, k=512, n=128)
+        cache.get(big)
+        assert cache.current_bytes > 0
+        cache.resize(1)  # smaller than any entry: everything evicts
+        assert cache.max_bytes == 1
+        assert cache.current_bytes == 0
+        assert len(cache) == 0
+        with pytest.raises(ValueError):
+            cache.resize(0)
+
+    def test_resize_keeps_entries_within_new_budget(self):
+        cache = OperandCache(max_bytes=1 << 22)
+        small = _layer(m=8, k=16, n=8)
+        cache.get(small)
+        resident = cache.current_bytes
+        cache.resize(resident + 1)
+        assert len(cache) == 1
+        assert cache.current_bytes == resident
+
+    def test_workers_get_budget_share_and_parent_stays_intact(self):
+        """Each pool worker runs under its budget share; the parent's
+        cache never sees the workers' traffic (no double counting)."""
+        from repro.eval.runner import _pool_context, _worker_init
+        from repro.workloads.from_spec import default_operand_cache
+        from concurrent.futures import ProcessPoolExecutor
+
+        parent = default_operand_cache()
+        parent_stats_before = parent.stats()
+        workers = 4
+        share = parent.max_bytes // workers
+        jobs = [(64 + 8 * i, 96, 32, i) for i in range(8)]
+        with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context(),
+                initializer=_worker_init, initargs=(share,)) as pool:
+            reports = list(pool.map(_worker_cache_probe, jobs))
+        assert all(r["read_only"] for r in reports)
+        assert all(r["max_bytes"] == share for r in reports)
+        # Aggregate resident bytes across workers respect the parent
+        # budget: every worker is individually capped at its share.
+        assert all(r["current_bytes"] <= share for r in reports)
+        per_pid_peak = {}
+        for r in reports:
+            per_pid_peak[r["pid"]] = max(
+                per_pid_peak.get(r["pid"], 0), r["current_bytes"])
+        assert sum(per_pid_peak.values()) <= parent.max_bytes
+        # The parent's accounting is untouched by worker traffic.
+        assert parent.stats() == parent_stats_before
+
+    def test_thread_safety_under_concurrent_get(self):
+        """Concurrent same-process getters never corrupt the budget
+        accounting (the lock added for the parallel runner)."""
+        import threading
+
+        cache = OperandCache(max_bytes=1 << 22)
+        layers = [_layer(m=16 + i, k=64, n=16, name=f"t{i}")
+                  for i in range(6)]
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(10):
+                    for layer in layers:
+                        cache.get(layer)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        resident = sum(a.nbytes + w.nbytes
+                       for a, w in cache._entries.values())
+        assert cache.current_bytes == resident
+        assert cache.current_bytes <= cache.max_bytes

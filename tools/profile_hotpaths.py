@@ -2,9 +2,13 @@
 """Profile the simulator's hot paths: one representative GEMM per mode.
 
 Runs ``compress`` plus ``SystolicArray.run_gemm`` in each of the four
-execution modes (and the two raw sparse kernels) under cProfile and
-prints the top-15 functions by cumulative time, so perf PRs can measure
-before/after instead of guessing where the time goes.
+execution modes (and the two raw sparse kernels), the three baseline
+functional engines (SparTen bitmask inner-join, Eyeriss v2 CSC
+row-stationary mesh, SCNN Cartesian-product array), operand synthesis
+(``blocked_density_operand`` — the functional tier's other hot path),
+and the memory-hierarchy DMA tile-timeline walker under cProfile,
+printing the top-15 functions by cumulative time, so perf PRs can
+measure before/after instead of guessing where the time goes.
 
 Usage::
 
@@ -12,7 +16,8 @@ Usage::
 
 The workload defaults to the Fig. 9 microbench layer (1024x1152x256,
 4/8 weights, 50% activations) fetched through the shared
-``repro.eval.functional_operands`` memo.
+``repro.eval.functional_operands`` memo; the baseline engines and the
+walker run the same shape through an equivalent conv layer spec.
 """
 
 from __future__ import annotations
@@ -80,6 +85,43 @@ def main(argv=None) -> int:
         clear_compress_cache()  # profile the cold path, not the memo hit
         sim = SystolicArray(config)
         _profile(f"run_gemm {name}", sim.run_gemm, a, w, top=args.top)
+
+    # --- the three baseline functional engines (PR-4 code) ---
+    from repro.arch.eyeriss import EyerissV2Engine
+    from repro.arch.scnn import SCNNEngine
+    from repro.arch.sparten import SparTenEngine
+
+    for name, engine in (
+        ("SparTenEngine.run_gemm", SparTenEngine()),
+        ("EyerissV2Engine.run_gemm", EyerissV2Engine()),
+        ("SCNNEngine.run_gemm", SCNNEngine()),
+    ):
+        _profile(name, engine.run_gemm, a, w, top=args.top)
+
+    # --- operand synthesis (the functional tier's other hot path) ---
+    from repro.models.specs import LayerKind, LayerSpec
+    from repro.workloads.from_spec import spec_operands
+
+    layer = LayerSpec("profile", LayerKind.CONV, m=m, k=k, n=n,
+                      w_nnz=4, a_nnz=8, weight_density=0.5,
+                      act_density=0.5)
+    _profile("spec_operands (synthesis)", spec_operands, layer, top=args.top)
+
+    # --- memory-hierarchy DMA tile-timeline walker (PR-3 code) ---
+    from repro.accel import S2TAAW
+
+    accel = S2TAAW()
+    result = accel.run_layer(layer)
+
+    def walk_dma_timeline(repeats: int = 200) -> None:
+        for _ in range(repeats):
+            profile = accel.memory.profile(
+                accel.layer_traffic(layer, result.events),
+                result.compute_cycles, name=layer.name)
+            profile.overlapped_cycles  # forces the lazy walker
+
+    _profile("memory DMA timeline walker (x200)", walk_dma_timeline,
+             top=args.top)
     return 0
 
 
