@@ -16,8 +16,15 @@
 #                   BENCH_<utc>.json, then diffing the newest two BENCH
 #                   files and failing on >10% throughput regression.
 #
-#   make bench    - just the benchmark sweep + regression check.
+#   make bench    - just the benchmark sweep + regression check. The
+#                   bench_*.py glob includes bench_dse_throughput.py,
+#                   so nightly also gates the DSE engine's
+#                   configs-evaluated-per-second rate.
 #   make check    - just the regression diff of existing BENCH files.
+#   make dse      - full-keyspace adaptive design-space exploration
+#                   (repro dse); writes the artifact (evaluations +
+#                   Pareto frontier + refinement rounds) to
+#                   dse_frontier.json.
 #
 # Functional-tier execution engine (repro.eval.runner):
 #
@@ -37,7 +44,7 @@ PY         := PYTHONPATH=src python
 STAMP      := $(shell date -u +%Y%m%dT%H%M%SZ)
 BENCH_JSON := BENCH_$(STAMP).json
 
-.PHONY: verify nightly bench check fig-functional cache-clear
+.PHONY: verify nightly bench check dse fig-functional cache-clear
 
 verify:
 	$(PY) -m pytest -x -q
@@ -50,6 +57,13 @@ nightly:
 	REPRO_JOBS=0 $(PY) -m pytest -q -m slow
 	$(PY) -m repro experiment xval --jobs 0
 	$(MAKE) bench
+
+# Analytic per-point evaluation is sub-millisecond, so the sweep stays
+# serial (--jobs 1) — a process pool would spend more on pickling than
+# simulating. Payloads memoize in the on-disk result cache, so re-runs
+# and shard merges skip straight to finalization.
+dse:
+	$(PY) -m repro dse --jobs 1 --out dse_frontier.json
 
 fig-functional:
 	$(PY) -m repro experiment fig11 --functional --jobs 0

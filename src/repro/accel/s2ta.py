@@ -51,13 +51,23 @@ class S2TAW(AcceleratorModel):
     buffer_bytes_per_mac = 0.875  # Table 1
 
     def __init__(self, tech: str = "16nm", rows: int = 4, cols: int = 8,
-                 tpe_a: int = 4, tpe_c: int = 4, **kwargs):
+                 tpe_a: int = 4, tpe_c: int = 4, datapath_nnz: int = 4,
+                 **kwargs):
         super().__init__(tech=tech, **kwargs)
+        if not 1 <= datapath_nnz <= BLOCK_SIZE:
+            raise ValueError(
+                f"datapath_nnz must be in [1, {BLOCK_SIZE}], "
+                f"got {datapath_nnz}")
         self.rows = rows
         self.cols = cols
         self.tpe_a = tpe_a
         self.tpe_c = tpe_c
-        self.hardware_macs = rows * cols * tpe_a * tpe_c * self.datapath_nnz
+        # The DBB weight bound B: each DPBM8 dot-product unit holds B
+        # MACs (the paper's design point is DP4M8). Swept by the DSE
+        # engine; everything downstream (passes, block bytes, events)
+        # reads the instance attribute.
+        self.datapath_nnz = datapath_nnz
+        self.hardware_macs = rows * cols * tpe_a * tpe_c * datapath_nnz
         self.buffer_bytes_per_mac = self._buffer_bytes(tpe_a, tpe_c)
 
     def _buffer_bytes(self, tpe_a: int, tpe_c: int) -> float:
@@ -181,12 +191,20 @@ class S2TAAW(AcceleratorModel):
     has_dap = True
 
     def __init__(self, tech: str = "16nm", rows: int = 8, cols: int = 8,
-                 tpe_a: int = 8, tpe_c: int = 4, **kwargs):
+                 tpe_a: int = 8, tpe_c: int = 4, w_nnz_hw: int = 4,
+                 **kwargs):
         super().__init__(tech=tech, **kwargs)
+        if not 1 <= w_nnz_hw <= BLOCK_SIZE:
+            raise ValueError(
+                f"w_nnz_hw must be in [1, {BLOCK_SIZE}], got {w_nnz_hw}")
         self.rows = rows
         self.cols = cols
         self.tpe_a = tpe_a
         self.tpe_c = tpe_c
+        # The DBB weight bound B: each DP1M4 weight mux selects among B
+        # stored non-zeros (B:1 mux; the paper's design point is B=4).
+        # Time-unrolled, so the MAC count is independent of B.
+        self.w_nnz_hw = w_nnz_hw
         self.hardware_macs = rows * cols * tpe_a * tpe_c
         self.buffer_bytes_per_mac = self._buffer_bytes(tpe_a, tpe_c)
 

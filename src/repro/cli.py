@@ -7,6 +7,8 @@ Usage::
     python -m repro run mobilenet_v1 --accelerator s2ta-aw --tech 16nm
     python -m repro experiment fig11
     python -m repro sweep --top 10
+    python -m repro dse --shard 0/4 --out shard0.json
+    python -m repro dse --merge shard0.json shard1.json ...
 
 Every command prints plain text; ``experiment`` accepts any artifact id
 from DESIGN.md's index (fig1, fig3, fig9a..fig9d, fig10, fig11, fig12,
@@ -40,6 +42,15 @@ cache stats|clear|prune`` manages the store (``$REPRO_CACHE_DIR``,
 default ``~/.cache/repro/results``; ``REPRO_RESULT_CACHE=0`` opts out
 globally). The ``xval`` contract gate always simulates cold — a cached
 payload must never be what re-validates the agreement contract.
+
+``repro dse`` scales the Sec. 7 sweep into a distributed, adaptive
+design-space exploration (:mod:`repro.design.dse`): thousands of
+``AxBxC_MxN`` x (A-DBB, SRAM, DRAM bandwidth, tech) points, evaluated
+through the same parallel memoized runner, coarse-sampled then
+adaptively refined around the (energy x cycles x area) Pareto frontier.
+``--shard I/N`` + ``--out`` freeze one deterministic slice per host;
+``--merge`` unions the shard artifacts and completes the refinement,
+reproducing the unsharded artifact exactly.
 """
 
 from __future__ import annotations
@@ -284,6 +295,112 @@ def cmd_sweep(args) -> str:
     return sec7_design_space(top=args.top).render()
 
 
+_STYLE_FLAGS = {"tu": True, "dp": False}
+
+
+def _parse_axis(text: str, cast, flag: str) -> tuple:
+    values = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            values.append(cast(token))
+        except (ValueError, KeyError):
+            raise SystemExit(
+                f"{flag}: cannot parse {token!r}") from None
+    if not values:
+        raise SystemExit(f"{flag} needs at least one value")
+    return tuple(values)
+
+
+def _dse_axes(args):
+    from repro.design.dse import DSEAxes
+
+    try:
+        return DSEAxes(
+            styles=_parse_axis(args.styles,
+                               lambda t: _STYLE_FLAGS[t], "--styles"),
+            weight_nnz=_parse_axis(args.weight_nnz, int, "--weight-nnz"),
+            a_nnz=_parse_axis(args.a_nnz, int, "--a-nnz"),
+            sram_mb=_parse_axis(args.sram_mb, float, "--sram-mb"),
+            dram_gbps=_parse_axis(
+                args.dram_bw,
+                lambda t: None if t == "def" else float(t), "--dram-bw"),
+            techs=_parse_axis(args.tech, str, "--tech"),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad DSE axes: {exc}") from None
+
+
+def cmd_dse(args) -> str:
+    """Run (or merge) the adaptive design-space exploration."""
+    import json as _json
+    import pathlib
+
+    from repro.design.dse import (
+        merge_artifacts,
+        parse_shard,
+        render_artifact,
+        run_dse,
+    )
+    from repro.eval.experiments import QUICK_MAX_M
+
+    if args.jobs is not None and args.jobs < 0:
+        raise SystemExit("--jobs must be >= 0 (0 = one worker per core)")
+    if args.quick and args.fidelity != "functional":
+        raise SystemExit("--quick subsamples the cycle simulator; pass "
+                         "--fidelity functional as well")
+    result_cache = None if args.no_result_cache else _default_result_cache()
+    if args.merge:
+        if args.shard is not None:
+            raise SystemExit("--merge consumes shard artifacts; it does "
+                             "not take --shard itself")
+        artifacts = []
+        for path in args.merge:
+            try:
+                artifacts.append(_json.loads(
+                    pathlib.Path(path).read_text()))
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"cannot read shard artifact "
+                                 f"{path}: {exc}") from None
+        try:
+            artifact = merge_artifacts(artifacts, jobs=args.jobs,
+                                       result_cache=result_cache)
+        except ValueError as exc:
+            raise SystemExit(f"cannot merge: {exc}") from None
+    else:
+        shard = None
+        if args.shard is not None:
+            try:
+                shard = parse_shard(args.shard)
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+        try:
+            artifact = run_dse(
+                _dse_axes(args),
+                coarse_stride=args.coarse_stride,
+                stable_rounds=args.stable_rounds,
+                fidelity=args.fidelity,
+                seed=0 if args.seed is None else args.seed,
+                max_m=QUICK_MAX_M if args.quick else None,
+                jobs=args.jobs,
+                result_cache=result_cache,
+                shard=shard,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    lines = []
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            _json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+        lines.append(f"wrote {artifact['phase']} artifact "
+                     f"({len(artifact['evaluations'])} evaluations) "
+                     f"to {args.out}")
+    lines.append(render_artifact(artifact, top=args.top).render())
+    return "\n".join(lines)
+
+
 def _default_result_cache():
     from repro.eval.resultcache import default_result_cache
 
@@ -375,6 +492,73 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="Sec. 7 design-space sweep")
     sweep.add_argument("--top", type=int, default=8)
     sweep.set_defaults(func=cmd_sweep)
+
+    dse = sub.add_parser(
+        "dse",
+        help="distributed, adaptive design-space exploration",
+        description="Enumerate the full AxBxC_MxN x (A-DBB, SRAM, DRAM "
+                    "bandwidth, tech) keyspace, evaluate points through "
+                    "the parallel memoized runner, and adaptively refine "
+                    "around the (energy x cycles x area) Pareto frontier "
+                    "until it is stable. --shard I/N evaluates one "
+                    "deterministic slice of the coarse sample and "
+                    "freezes it to --out; --merge unions the per-shard "
+                    "artifacts and completes the refinement, producing "
+                    "output identical to an unsharded run.")
+    dse.add_argument("--styles", default="tu,dp",
+                     help="datapath styles to sweep: comma list of "
+                          "tu (time-unrolled) / dp (dot-product) "
+                          "(default tu,dp)")
+    dse.add_argument("--weight-nnz", default="2,4,8", metavar="B,...",
+                     help="DBB weight bounds B to sweep (default 2,4,8)")
+    dse.add_argument("--a-nnz", default="2,3,4,8", metavar="A,...",
+                     help="per-layer activation-DBB bounds to sweep "
+                          "(default 2,3,4,8)")
+    dse.add_argument("--sram-mb", default="1.25,2.5,5.0", metavar="MB,...",
+                     help="on-chip SRAM sizes to sweep "
+                          "(default 1.25,2.5,5.0)")
+    dse.add_argument("--dram-bw", default="def", metavar="GB/s,...",
+                     help="DRAM bandwidths to sweep; 'def' = the default "
+                          "channel (default def)")
+    dse.add_argument("--tech", default="16nm", metavar="NODE,...",
+                     help="technology nodes to sweep (default 16nm)")
+    dse.add_argument("--coarse-stride", type=int, default=4, metavar="K",
+                     help="coarse phase samples every K-th point "
+                          "(default 4); refinement densifies around the "
+                          "frontier")
+    dse.add_argument("--stable-rounds", type=int, default=2, metavar="K",
+                     help="stop once the frontier survives K consecutive "
+                          "refinement rounds (default 2)")
+    dse.add_argument("--fidelity", default="analytic",
+                     choices=("analytic", "functional"),
+                     help="evaluation tier: closed-form analytic "
+                          "(default; sub-ms per point) or the cycle "
+                          "simulator")
+    dse.add_argument("--seed", type=int, default=None,
+                     help="operand-synthesis seed (functional fidelity)")
+    dse.add_argument("--quick", action="store_true",
+                     help="subsample GEMM rows for a fast functional "
+                          "sweep (requires --fidelity functional)")
+    dse.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for the evaluation fan-out; "
+                          "0 = one per core; default: $REPRO_JOBS or "
+                          "serial")
+    dse.add_argument("--shard", default=None, metavar="I/N",
+                     help="evaluate deterministic slice I of N of the "
+                          "coarse sample and emit a partial artifact "
+                          "(combine with --out, then --merge)")
+    dse.add_argument("--merge", nargs="+", default=None, metavar="JSON",
+                     help="merge per-shard artifacts and run the "
+                          "refinement to completion")
+    dse.add_argument("--out", default=None, metavar="JSON",
+                     help="write the artifact (evaluations + frontier + "
+                          "rounds) as JSON")
+    dse.add_argument("--top", type=int, default=12,
+                     help="table rows to print (default 12)")
+    dse.add_argument("--no-result-cache", action="store_true",
+                     help="skip the on-disk result cache for this "
+                          "invocation (see 'repro cache')")
+    dse.set_defaults(func=cmd_dse)
 
     cache = sub.add_parser(
         "cache",

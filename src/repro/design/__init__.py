@@ -13,8 +13,24 @@ package reproduces that flow in model form:
 - :mod:`repro.design.rtlgen`: emit the structural netlist summary
   (module hierarchy with port widths) a given design point would
   generate — the artifact the paper's generator hands to the EDA flow.
+- :mod:`repro.design.dse`: scale the Sec. 7 sweep into a distributed,
+  adaptive design-space exploration — the full ``AxBxC_MxN`` x
+  (A-DBB bound, SRAM size, DRAM bandwidth, tech) keyspace, evaluated
+  through the parallel memoized runner, coarse-sampled and then
+  adaptively refined around the (energy x cycles x area) Pareto
+  frontier; deterministic ``--shard I/N`` partitioning with
+  merge-equals-unsharded artifacts (the ``repro dse`` CLI).
 """
 
+from repro.design.dse import (
+    DSEAxes,
+    DSEEvaluation,
+    DSEPoint,
+    DSESpace,
+    merge_artifacts,
+    pareto_frontier_3d,
+    run_dse,
+)
 from repro.design.rtlgen import generate_structure
 from repro.design.space import (
     DesignPoint,
@@ -31,4 +47,11 @@ __all__ = [
     "pareto_frontier",
     "select_lowest_power",
     "generate_structure",
+    "DSEAxes",
+    "DSEPoint",
+    "DSEEvaluation",
+    "DSESpace",
+    "pareto_frontier_3d",
+    "run_dse",
+    "merge_artifacts",
 ]

@@ -82,13 +82,20 @@ class DesignPoint:
         """The paper's hard constraint: 4 TOPS peak dense (Sec. 7)."""
         return self.peak_tops >= 4.0 - 1e-9
 
-    def build(self, tech: str = "16nm"):
-        """Instantiate the accelerator model for this point."""
+    def build(self, tech: str = "16nm", **kwargs):
+        """Instantiate the accelerator model for this point.
+
+        Extra keyword arguments (``costs``, ``dram_gbps``, ...) pass
+        through to the accelerator constructor — the DSE engine uses
+        this to sweep the memory-system axes around a design point.
+        """
         if self.time_unrolled:
             return S2TAAW(tech=tech, rows=self.rows, cols=self.cols,
-                          tpe_a=self.tpe_a, tpe_c=self.tpe_c)
+                          tpe_a=self.tpe_a, tpe_c=self.tpe_c,
+                          w_nnz_hw=self.weight_nnz, **kwargs)
         return S2TAW(tech=tech, rows=self.rows, cols=self.cols,
-                     tpe_a=self.tpe_a, tpe_c=self.tpe_c)
+                     tpe_a=self.tpe_a, tpe_c=self.tpe_c,
+                     datapath_nnz=self.weight_nnz, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -114,14 +121,18 @@ def enumerate_design_space(
     time_unrolled: bool = True,
     max_tpe: int = 16,
     max_aspect: float = 4.0,
+    weight_nnz: int = 4,
 ) -> Iterator[DesignPoint]:
     """All configurations hitting the MAC budget exactly.
 
     ``max_aspect`` bounds the array and TPE aspect ratios — extremely
     skewed arrays are excluded as they would not close timing (the
     paper notes larger TPEs marginally reduce clock frequency).
+    ``weight_nnz`` is the DBB weight bound B: time-unrolled datapaths
+    serialize it (one MAC per DP unit regardless of B), dot-product
+    datapaths instantiate B MACs per unit (DP4M8 at the default B=4).
     """
-    mac_multiplier = 1 if time_unrolled else 4
+    mac_multiplier = 1 if time_unrolled else weight_nnz
     for tpe_a in _TPE_DIMS:
         for tpe_c in _TPE_DIMS:
             if tpe_a > max_tpe or tpe_c > max_tpe:
@@ -143,7 +154,8 @@ def enumerate_design_space(
                         continue
                 point = DesignPoint(tpe_a=tpe_a, tpe_c=tpe_c,
                                     rows=rows, cols=cols,
-                                    time_unrolled=time_unrolled)
+                                    time_unrolled=time_unrolled,
+                                    weight_nnz=weight_nnz)
                 if point.meets_throughput:
                     yield point
 
@@ -170,21 +182,32 @@ def evaluate_point(
 
 
 def pareto_frontier(evaluations: List[PPA]) -> List[PPA]:
-    """Non-dominated points on the area-vs-power plane."""
+    """Non-dominated points on the area-vs-power plane.
+
+    Exact ties survive (dominance needs a strict improvement in at
+    least one objective) and the returned order is a pure function of
+    the evaluations, independent of input order.
+    """
     frontier = [
         ppa for ppa in evaluations
         if not any(other.dominates(ppa) for other in evaluations)
     ]
-    return sorted(frontier, key=lambda p: p.power_mw)
+    return sorted(frontier,
+                  key=lambda p: (p.power_mw, p.area_mm2, p.point.notation))
 
 
 def select_lowest_power(
     evaluations: List[PPA], area_budget_mm2: float = math.inf
 ) -> PPA:
-    """The paper's selection rule: lowest power within the area budget."""
+    """The paper's selection rule: lowest power within the area budget.
+
+    Power ties break toward the smaller die, then the notation, so the
+    pick is deterministic regardless of enumeration order.
+    """
     feasible = [p for p in evaluations if p.area_mm2 <= area_budget_mm2]
     if not feasible:
         raise ValueError(
             f"no design fits the {area_budget_mm2} mm^2 budget"
         )
-    return min(feasible, key=lambda p: p.energy_uj)
+    return min(feasible,
+               key=lambda p: (p.power_mw, p.area_mm2, p.point.notation))

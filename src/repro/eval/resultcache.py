@@ -47,12 +47,15 @@ from typing import Dict, Optional, Tuple
 
 from repro.arch.events import EventCounts
 
-__all__ = ["CODE_VERSION", "ResultCache", "default_result_cache"]
+__all__ = ["CODE_VERSION", "ResultCache", "default_result_cache",
+           "payload_key"]
 
 #: Version salt folded into every cache key. Bump whenever any
 #: functional simulator's event accounting or operand synthesis
 #: changes, so stale entries can never masquerade as fresh results.
-CODE_VERSION = "pr5-v1"
+#: (pr7: key schema gained the fidelity-tier field — the DSE engine
+#: caches analytic payloads beside the functional ones.)
+CODE_VERSION = "pr7-v1"
 
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
@@ -80,6 +83,49 @@ def _canonical(obj):
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     return repr(obj)
+
+
+def payload_key(accel, layer, seed: int = 0, max_m: Optional[int] = None,
+                tier: str = "functional") -> str:
+    """Content hash of everything that determines one layer's simulation
+    payload (see the module docstring for the component list).
+
+    Module-level so callers without a cache — the parallel runner's
+    in-batch dedupe under ``--no-result-cache``, the DSE engine's
+    keyspace sharding — fingerprint tasks the exact same way the cache
+    does. ``tier`` separates the two fidelity tiers: a ``"functional"``
+    payload is measured on the cycle simulator, an ``"analytic"`` one is
+    the closed-form ``_layer_events`` result; the two must never share a
+    key even when every config component matches.
+    """
+    try:
+        sim_config = _canonical(accel.functional_sim_config())
+        gemm_kwargs = _canonical(accel._functional_gemm_kwargs(layer))
+    except NotImplementedError:
+        if tier == "functional":
+            raise
+        # Analytic payloads exist for every model; the class name plus
+        # the design-point fields below still pin the configuration.
+        sim_config = None
+        gemm_kwargs = None
+    fingerprint = {
+        "code_version": CODE_VERSION,
+        "tier": tier,
+        "accel_class": type(accel).__qualname__,
+        "accel_name": accel.name,
+        "tech": accel.tech,
+        "sim_config": sim_config,
+        "gemm_kwargs": gemm_kwargs,
+        "costs": _canonical(accel.costs),
+        "dram": _canonical(accel.memory.dram),
+        "sram": _canonical(accel.memory.sram),
+        "layer": _canonical(layer),
+        "seed": int(seed),
+        "max_m": None if max_m is None else int(max_m),
+    }
+    blob = json.dumps(fingerprint, sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 class ResultCache:
@@ -111,27 +157,11 @@ class ResultCache:
     # ------------------------------------------------------------- #
 
     def key(self, accel, layer, seed: int = 0,
-            max_m: Optional[int] = None) -> str:
+            max_m: Optional[int] = None, tier: str = "functional") -> str:
         """Content hash of everything that determines one layer's
-        functional-simulation payload (see the module docstring for the
-        component list)."""
-        fingerprint = {
-            "code_version": CODE_VERSION,
-            "accel_class": type(accel).__qualname__,
-            "accel_name": accel.name,
-            "tech": accel.tech,
-            "sim_config": _canonical(accel.functional_sim_config()),
-            "gemm_kwargs": _canonical(accel._functional_gemm_kwargs(layer)),
-            "costs": _canonical(accel.costs),
-            "dram": _canonical(accel.memory.dram),
-            "sram": _canonical(accel.memory.sram),
-            "layer": _canonical(layer),
-            "seed": int(seed),
-            "max_m": None if max_m is None else int(max_m),
-        }
-        blob = json.dumps(fingerprint, sort_keys=True,
-                          separators=(",", ":"))
-        return hashlib.sha256(blob.encode()).hexdigest()
+        simulation payload — :func:`payload_key` bound to an instance
+        for call-site convenience."""
+        return payload_key(accel, layer, seed=seed, max_m=max_m, tier=tier)
 
     def _entry_path(self, key: str) -> pathlib.Path:
         return self.path / f"{key}.json"
@@ -163,10 +193,19 @@ class ResultCache:
             "events": events.as_dict(),
         }, sort_keys=True)
         fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        entry = self._entry_path(key)
+        # An overwritten entry's bytes leave the store when os.replace
+        # lands, so they must leave the running estimate too — otherwise
+        # repeated re-puts of the same keys inflate it until eviction
+        # triggers on a store that is nowhere near the cap.
+        try:
+            replaced_bytes = entry.stat().st_size
+        except OSError:
+            replaced_bytes = 0
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(blob)
-            os.replace(tmp, self._entry_path(key))
+            os.replace(tmp, entry)
         except OSError:
             try:
                 os.unlink(tmp)
@@ -176,7 +215,7 @@ class ResultCache:
         if self._approx_bytes is None:
             self._approx_bytes = sum(size for _, size, _ in self._entries())
         else:
-            self._approx_bytes += len(blob)
+            self._approx_bytes += len(blob) - replaced_bytes
         if self._approx_bytes > self.max_bytes:
             self.prune(self.max_bytes)
 

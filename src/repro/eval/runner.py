@@ -66,12 +66,25 @@ MIN_WORKER_OPERAND_BUDGET = 64 * 1024 * 1024
 
 @dataclass(frozen=True, eq=False)
 class LayerSimTask:
-    """One functional-simulation work unit (the fan-out granule)."""
+    """One layer-simulation work unit (the fan-out granule).
+
+    ``analytic=True`` evaluates the closed-form tier
+    (:meth:`~repro.accel.base.AcceleratorModel._layer_events`) instead
+    of the cycle simulator — the DSE engine fans thousands of analytic
+    design-point evaluations through the same pool, dedupe and result
+    cache as the functional experiments; the two tiers never share
+    cache keys (the fingerprint carries the tier).
+    """
 
     accel: AcceleratorModel
     layer: LayerSpec
     seed: int = 0
     max_m: Optional[int] = None
+    analytic: bool = False
+
+    @property
+    def tier(self) -> str:
+        return "analytic" if self.analytic else "functional"
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -105,6 +118,8 @@ def _worker_init(operand_budget: int) -> None:
 
 def _simulate_task(task: LayerSimTask) -> Tuple[int, EventCounts]:
     """Worker body — module-level so the pool can pickle it."""
+    if task.analytic:
+        return task.accel._layer_events(task.layer)
     return task.accel.simulate_layer_functional(
         task.layer, seed=task.seed, max_m=task.max_m)
 
@@ -138,32 +153,34 @@ def simulate_layer_tasks(
     Cache hits (and in-batch duplicates — the same key appearing twice
     in ``tasks``) never dispatch to the pool; misses fan out over
     ``jobs`` workers (serial when 1 or when only one miss remains) and
-    are frozen into ``result_cache`` as they complete. ``operand_cache``
-    overrides the process-default operand memo on the *serial* path
-    only — worker processes always use their own process-local caches.
+    are frozen into ``result_cache`` as they complete. Task fingerprints
+    are computed whether or not a cache is attached, so in-batch
+    duplicates collapse to one simulation even under
+    ``--no-result-cache``. ``operand_cache`` overrides the
+    process-default operand memo on the *serial* path only — worker
+    processes always use their own process-local caches.
     """
+    from repro.eval.resultcache import payload_key
+
     jobs = resolve_jobs(jobs)
     results: Dict[int, Tuple[int, EventCounts]] = {}
-    keys: List[Optional[str]] = []
+    keys: List[str] = []
     pending: List[int] = []
     dup_of: Dict[int, int] = {}
     first_with_key: Dict[str, int] = {}
     for i, task in enumerate(tasks):
-        key = None
+        key = payload_key(task.accel, task.layer, seed=task.seed,
+                          max_m=task.max_m, tier=task.tier)
+        keys.append(key)
         if result_cache is not None:
-            key = result_cache.key(task.accel, task.layer,
-                                   seed=task.seed, max_m=task.max_m)
             hit = result_cache.get(key)
             if hit is not None:
-                keys.append(key)
                 results[i] = hit
                 continue
-        keys.append(key)
-        if key is not None and key in first_with_key:
+        if key in first_with_key:
             dup_of[i] = first_with_key[key]
             continue
-        if key is not None:
-            first_with_key[key] = i
+        first_with_key[key] = i
         pending.append(i)
 
     if pending:
@@ -183,14 +200,16 @@ def simulate_layer_tasks(
                     chunksize=1))
         else:
             payloads = [
-                tasks[i].accel.simulate_layer_functional(
+                tasks[i].accel._layer_events(tasks[i].layer)
+                if tasks[i].analytic
+                else tasks[i].accel.simulate_layer_functional(
                     tasks[i].layer, seed=tasks[i].seed,
                     max_m=tasks[i].max_m, cache=operand_cache)
                 for i in pending
             ]
         for i, payload in zip(pending, payloads):
             results[i] = payload
-            if result_cache is not None and keys[i] is not None:
+            if result_cache is not None:
                 result_cache.put(keys[i], payload[0], payload[1])
     for i, j in dup_of.items():
         results[i] = results[j]

@@ -1,0 +1,291 @@
+"""The distributed, adaptive design-space exploration engine
+(:mod:`repro.design.dse`).
+
+The ISSUE-7 acceptance bounds, asserted here:
+
+- a 2-way sharded run, merged from its per-shard artifacts, is
+  identical to the unsharded run (everything but the cache ``meta``);
+- a warm re-sweep of >= 500 points hits the result cache on > 90% of
+  lookups;
+- adaptive refinement terminates with a stable (energy, cycles, area)
+  Pareto frontier, pinned on a restricted axes slice.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.design.dse import (
+    DSEAxes,
+    DSEEvaluation,
+    DSEPoint,
+    DSESpace,
+    evaluate_points,
+    merge_artifacts,
+    pareto_frontier_3d,
+    parse_shard,
+    render_artifact,
+    run_dse,
+)
+from repro.eval.resultcache import ResultCache
+
+#: A small slice of the keyspace: one style, one B, three A-DBB bounds
+#: — 114 points, a sub-second sweep with non-trivial refinement.
+SMALL = DSEAxes(styles=(True,), weight_nnz=(4,), a_nnz=(2, 4, 8),
+                sram_mb=(2.5,))
+
+
+def _sans_meta(artifact):
+    return {k: v for k, v in artifact.items() if k != "meta"}
+
+
+class TestAxes:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            DSEAxes(a_nnz=())
+
+    def test_duplicate_axis_value_rejected(self):
+        with pytest.raises(ValueError):
+            DSEAxes(sram_mb=(2.5, 2.5))
+
+    def test_dbb_bounds_validated(self):
+        with pytest.raises(ValueError):
+            DSEAxes(weight_nnz=(9,))
+        with pytest.raises(ValueError):
+            DSEAxes(a_nnz=(0,))
+
+    def test_roundtrips_through_dict(self):
+        axes = DSEAxes(dram_gbps=(None, 8.0), techs=("16nm", "65nm"))
+        assert DSEAxes.from_dict(axes.as_dict()) == axes
+
+
+class TestSpace:
+    def test_default_space_is_thousands_of_points(self):
+        assert len(DSESpace()) >= 2000
+
+    def test_enumeration_is_deterministic(self):
+        first = [p.uid for p in DSESpace(SMALL).points]
+        second = [p.uid for p in DSESpace(SMALL).points]
+        assert first == second
+        assert len(first) == len(set(first))
+
+    def test_neighbors_stay_in_space_and_are_symmetric(self):
+        space = DSESpace(SMALL)
+        point = space.points[len(space) // 2]
+        neighbors = space.neighbors(point.uid)
+        assert neighbors
+        for other in neighbors:
+            assert other.uid in space
+            back = [p.uid for p in space.neighbors(other.uid)]
+            assert point.uid in back
+
+    def test_scalar_axis_neighbors_step_one_index(self):
+        space = DSESpace(SMALL)
+        point = next(p for p in space.points if p.a_nnz == 4)
+        steps = {n.a_nnz for n in space.neighbors(point.uid)
+                 if n.design == point.design}
+        assert steps == {2, 8}  # both neighbors on the a_nnz axis
+
+    def test_design_neighbors_share_style(self):
+        space = DSESpace(DSEAxes(styles=(True, False), weight_nnz=(4,),
+                                 a_nnz=(4,), sram_mb=(2.5,)))
+        point = space.points[0]
+        for other in space.neighbors(point.uid):
+            assert (other.design.time_unrolled
+                    == point.design.time_unrolled)
+
+
+def _evaluation(tag, energy, cycles, area):
+    return DSEEvaluation(
+        uid=f"p{tag}", notation=f"n{tag}", time_unrolled=True,
+        weight_nnz=4, a_nnz=4, sram_mb=2.5, dram_gbps=None,
+        tech="16nm", power_mw=1.0, area_mm2=float(area),
+        cycles=int(cycles), energy_uj=float(energy))
+
+
+class TestParetoFrontier3D:
+    def test_nondominated_and_keeps_ties(self):
+        tied_a = _evaluation(1, 1.0, 10, 2.0)
+        tied_b = _evaluation(2, 1.0, 10, 2.0)
+        dominated = _evaluation(3, 2.0, 20, 3.0)
+        tradeoff = _evaluation(4, 0.5, 40, 5.0)
+        frontier = pareto_frontier_3d(
+            [dominated, tied_a, tradeoff, tied_b])
+        uids = [e.uid for e in frontier]
+        assert "p1" in uids and "p2" in uids
+        assert "p3" not in uids
+        assert "p4" in uids  # wins on energy, loses on cycles/area
+
+    def test_order_independent(self):
+        rnd = random.Random(7)
+        evals = [_evaluation(i, rnd.choice([1.0, 2.0, 3.0]),
+                             rnd.choice([10, 20, 30]),
+                             rnd.choice([1.0, 2.0]))
+                 for i in range(30)]
+        reference = pareto_frontier_3d(evals)
+        for _ in range(10):
+            rnd.shuffle(evals)
+            assert pareto_frontier_3d(evals) == reference
+
+
+class TestRunDSE:
+    def test_pinned_stable_frontier(self):
+        """The refinement converges to one frontier point on the SMALL
+        slice: the paper's 8x4x4_8x8 at the tightest A-DBB bound —
+        pinned exactly (uid) and numerically (objectives)."""
+        artifact = run_dse(SMALL, coarse_stride=3, jobs=1)
+        assert artifact["phase"] == "final"
+        assert artifact["frontier"] == [
+            "8x4x4_8x8.tu.a2.s2.5.bwdef.16nm"]
+        best = next(e for e in artifact["evaluations"]
+                    if e["uid"] == artifact["frontier"][0])
+        assert best["cycles"] == 112924
+        assert best["energy_uj"] == pytest.approx(52.7, abs=0.1)
+        assert best["area_mm2"] == pytest.approx(3.70, abs=0.01)
+
+    def test_refinement_terminates_with_stable_frontier(self):
+        artifact = run_dse(SMALL, coarse_stride=4, stable_rounds=2,
+                           jobs=1)
+        rounds = artifact["rounds"]
+        assert 2 <= len(rounds) <= 65
+        evaluated = [r["evaluated"] for r in rounds]
+        assert evaluated == sorted(evaluated)
+        assert evaluated[-1] == len(artifact["evaluations"])
+        # The frontier is genuinely non-dominated over everything seen.
+        evals = [DSEEvaluation.from_dict(e)
+                 for e in artifact["evaluations"]]
+        assert artifact["frontier"] == [
+            e.uid for e in pareto_frontier_3d(evals)]
+
+    def test_coarse_stride_one_evaluates_everything(self):
+        tiny = DSEAxes(styles=(True,), weight_nnz=(4,), a_nnz=(4,),
+                       sram_mb=(1.25, 2.5))
+        artifact = run_dse(tiny, coarse_stride=1, jobs=1)
+        assert len(artifact["evaluations"]) == len(DSESpace(tiny))
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_dse(SMALL, coarse_stride=0)
+        with pytest.raises(ValueError):
+            run_dse(SMALL, stable_rounds=0)
+        with pytest.raises(ValueError):
+            evaluate_points([], fidelity="rtl")
+
+
+class TestSharding:
+    def test_parse_shard(self):
+        assert parse_shard("0/2") == (0, 2)
+        assert parse_shard("3/4") == (3, 4)
+        for bad in ("2/2", "-1/2", "0/0", "x", "1", "1/2/3"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_shards_partition_the_coarse_sample(self):
+        shards = [run_dse(SMALL, coarse_stride=3, jobs=1, shard=(i, 3))
+                  for i in range(3)]
+        owned = [
+            {e["uid"] for e in s["evaluations"]} for s in shards]
+        assert not (owned[0] & owned[1] or owned[0] & owned[2]
+                    or owned[1] & owned[2])
+        coarse = {p.uid for p in DSESpace(SMALL).points[::3]}
+        assert owned[0] | owned[1] | owned[2] == coarse
+
+    def test_merge_identical_to_unsharded(self):
+        """The ISSUE-7 headline bound: shard 0/2 + shard 1/2, merged,
+        equals the unsharded artifact — evaluations, frontier and
+        refinement rounds alike."""
+        unsharded = run_dse(SMALL, coarse_stride=3, jobs=1)
+        shards = [run_dse(SMALL, coarse_stride=3, jobs=1, shard=(i, 2))
+                  for i in range(2)]
+        for shard in shards:
+            assert shard["phase"] == "coarse"
+            assert shard["frontier"] == []
+        merged = merge_artifacts(shards, jobs=1)
+        assert _sans_meta(merged) == _sans_meta(unsharded)
+
+    def test_merge_rejects_incomplete_or_foreign_shards(self):
+        s0, s1 = (run_dse(SMALL, coarse_stride=3, jobs=1, shard=(i, 2))
+                  for i in range(2))
+        with pytest.raises(ValueError):
+            merge_artifacts([])
+        with pytest.raises(ValueError):
+            merge_artifacts([s0])  # shard 1 missing
+        with pytest.raises(ValueError):
+            merge_artifacts([s0, s0])  # duplicate index
+        other = run_dse(SMALL, coarse_stride=4, jobs=1, shard=(1, 2))
+        with pytest.raises(ValueError):
+            merge_artifacts([s0, other])  # different space signature
+        final = run_dse(SMALL, coarse_stride=3, jobs=1)
+        with pytest.raises(ValueError):
+            merge_artifacts([final, s1])  # not a coarse shard
+
+
+class TestResultCacheIntegration:
+    def test_warm_resweep_hits_cache(self, tmp_path):
+        """>= 500 points, > 90% hit rate on the re-sweep — the ISSUE-7
+        memoization bound, on the full default keyspace."""
+        cache = ResultCache(tmp_path / "rc")
+        cold = run_dse(coarse_stride=4, jobs=1, result_cache=cache)
+        assert len(cold["evaluations"]) >= 500
+        cache.hits = cache.misses = 0
+        warm = run_dse(coarse_stride=4, jobs=1, result_cache=cache)
+        assert _sans_meta(warm) == _sans_meta(cold)
+        assert warm["meta"]["cache"]["hit_rate"] > 0.90
+
+    def test_shards_share_payloads_with_the_merge_host(self, tmp_path):
+        cache = ResultCache(tmp_path / "rc")
+        shards = [run_dse(SMALL, coarse_stride=3, jobs=1, shard=(i, 2),
+                          result_cache=cache)
+                  for i in range(2)]
+        merged = merge_artifacts(shards, jobs=1, result_cache=cache)
+        # Re-merging is pure cache traffic: zero new simulations.
+        cache.hits = cache.misses = 0
+        again = merge_artifacts(shards, jobs=1, result_cache=cache)
+        assert _sans_meta(again) == _sans_meta(merged)
+        assert again["meta"]["cache"]["hit_rate"] == 1.0
+
+
+class TestFidelity:
+    @pytest.mark.functional
+    def test_functional_fidelity_runs_the_cycle_simulator(self, tmp_path):
+        cache = ResultCache(tmp_path / "rc")
+        space = DSESpace(DSEAxes(styles=(True,), weight_nnz=(4,),
+                                 a_nnz=(4,), sram_mb=(2.5,)))
+        point = next(p for p in space.points
+                     if p.design.notation == "8x4x4_8x8")
+        functional = evaluate_points([point], fidelity="functional",
+                                     max_m=32, jobs=1,
+                                     result_cache=cache)[point.uid]
+        analytic = evaluate_points([point], fidelity="analytic",
+                                   max_m=32, jobs=1,
+                                   result_cache=cache)[point.uid]
+        assert functional.cycles > 0 and analytic.cycles > 0
+        assert cache.stats()["entries"] == 2  # tiers never collide
+
+    def test_point_build_applies_every_axis(self):
+        design = next(iter(DSESpace(SMALL).points)).design
+        point = DSEPoint(design=design, a_nnz=2, sram_mb=5.0,
+                         dram_gbps=8.0, tech="65nm")
+        accel = point.build()
+        assert accel.tech == "65nm"
+        assert accel.sram_mb == 5.0
+        assert accel.memory.dram.bytes_per_cycle * accel.clock_ghz \
+            == pytest.approx(8.0)
+        layer = point.layer()
+        assert layer.a_nnz == 2
+        assert layer.w_nnz == design.weight_nnz
+
+
+class TestRender:
+    def test_render_mentions_frontier_and_counts(self):
+        artifact = run_dse(SMALL, coarse_stride=3, jobs=1)
+        text = render_artifact(artifact, top=5).render()
+        assert "8x4x4_8x8" in text
+        assert "Pareto frontier" in text
+        assert "114 points in the space" in text
+
+    def test_render_flags_partial_shards(self):
+        shard = run_dse(SMALL, coarse_stride=3, jobs=1, shard=(0, 2))
+        text = render_artifact(shard).render()
+        assert "partial shard 0/2" in text

@@ -133,3 +133,41 @@ class TestDefaultCache:
     def test_opt_out(self, monkeypatch):
         monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
         assert default_result_cache() is None
+
+
+class TestSizeAccounting:
+    def test_overwrite_keeps_estimate_exact(self, cache):
+        """Re-putting an existing key replaces its bytes on disk, so it
+        must replace them in the running estimate too (the ISSUE-7 fix:
+        overwrites used to double-count and inflate the estimate until
+        eviction ran against a store nowhere near the cap)."""
+        cache.put("k", 1, EventCounts(cycles=1))
+        for i in range(5):
+            cache.put("k", i, EventCounts(cycles=i,
+                                          mac_ops=i * 1000))
+        assert cache._approx_bytes == cache.stats()["bytes"]
+
+    def test_overwrites_do_not_creep_toward_eviction(self, tmp_path):
+        probe = ResultCache(tmp_path / "probe")
+        probe.put("k", 1, EventCounts(cycles=1))
+        entry_bytes = probe._entry_path("k").stat().st_size
+        cache = ResultCache(tmp_path / "rc", max_bytes=4 * entry_bytes)
+        cache.put("a", 1, EventCounts(cycles=1))
+        cache.put("b", 2, EventCounts(cycles=2))
+        # 20 same-key overwrites on a 2-entry store: the inflated
+        # estimate would cross the 4-entry cap and spuriously prune.
+        for _ in range(20):
+            cache.put("a", 1, EventCounts(cycles=1))
+        assert cache.stats()["entries"] == 2
+        assert cache._approx_bytes == cache.stats()["bytes"]
+
+
+class TestPayloadKeyTiers:
+    def test_module_function_matches_bound_method(self, cache):
+        assert resultcache.payload_key(ZvcgSA(), CONV2) \
+            == cache.key(ZvcgSA(), CONV2)
+
+    def test_tiers_never_share_keys(self):
+        accel = ZvcgSA()
+        assert resultcache.payload_key(accel, CONV2, tier="analytic") \
+            != resultcache.payload_key(accel, CONV2, tier="functional")

@@ -178,3 +178,55 @@ class TestExperimentDeterminism:
         assert parallel.rows == serial.rows
         assert cached.rows == serial.rows
         assert serial.failures == parallel.failures == cached.failures
+
+
+class TestCachelessDedupe:
+    def test_in_batch_duplicates_simulate_once_without_cache(
+            self, monkeypatch):
+        """Fingerprints are computed even under --no-result-cache (the
+        ISSUE-7 fix: the in-batch dedupe used to vanish with the
+        cache), and they are content-addressed — distinct instances of
+        the same configuration share one simulation."""
+        calls = []
+        real = ZvcgSA.simulate_layer_functional
+
+        def counted(self, *args, **kwargs):
+            calls.append(1)
+            return real(self, *args, **kwargs)
+
+        monkeypatch.setattr(ZvcgSA, "simulate_layer_functional", counted)
+        tasks = [LayerSimTask(ZvcgSA(), CONV2, seed=0, max_m=QUICK)
+                 for _ in range(3)]
+        payloads = simulate_layer_tasks(tasks, jobs=1, result_cache=None)
+        assert len(calls) == 1
+        assert payloads[0] == payloads[1] == payloads[2]
+        assert payloads[0][1] is not payloads[1][1]  # no aliasing
+
+
+class TestAnalyticTier:
+    def test_analytic_payload_matches_layer_events(self):
+        accel = S2TAAW()
+        (payload,) = simulate_layer_tasks(
+            [LayerSimTask(accel, CONV2, analytic=True)], jobs=1)
+        assert payload == accel._layer_events(CONV2)
+
+    def test_tiers_never_share_cache_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        accel = ZvcgSA()
+        simulate_layer_tasks(
+            [LayerSimTask(accel, CONV2, max_m=QUICK, analytic=True)],
+            jobs=1, result_cache=cache)
+        assert cache.stats()["entries"] == 1
+        simulate_layer_tasks(
+            [LayerSimTask(accel, CONV2, max_m=QUICK)],
+            jobs=1, result_cache=cache)
+        assert cache.stats()["entries"] == 2
+
+    def test_analytic_warm_rerun_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = [LayerSimTask(S2TAAW(), CONV2, analytic=True)]
+        cold = simulate_layer_tasks(tasks, jobs=1, result_cache=cache)
+        misses = cache.misses
+        warm = simulate_layer_tasks(tasks, jobs=1, result_cache=cache)
+        assert warm == cold
+        assert cache.misses == misses and cache.hits >= 1

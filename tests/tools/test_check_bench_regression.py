@@ -52,6 +52,26 @@ class TestThroughputOf:
                   "extra_info": {"macs_per_s": 1e9, "wallclock_s": 2.0}}
         assert cbr.throughput_of(record) == (1e9, "macs/s")
 
+    def test_configs_per_s_between_macs_and_wallclock(self):
+        """The DSE benchmarks gate on configs evaluated per second —
+        preferred over their own wallclock_s, outranked by macs_per_s."""
+        record = {"stats": {"mean": 0.5},
+                  "extra_info": {"configs_per_s": 1500.0,
+                                 "wallclock_s": 2.0}}
+        assert cbr.throughput_of(record) == (1500.0, "configs/s")
+        record["extra_info"]["macs_per_s"] = 1e9
+        assert cbr.throughput_of(record) == (1e9, "macs/s")
+
+    def test_configs_per_s_regression_fails_gate(self, tmp_path):
+        _bench_file(tmp_path / "BENCH_1.json", "2026-01-01T00:00:00",
+                    [("t::dse", 1.0, {"configs_per_s": 1000.0})])
+        _bench_file(tmp_path / "BENCH_2.json", "2026-01-02T00:00:00",
+                    [("t::dse", 1.0, {"configs_per_s": 800.0})])
+        assert cbr.main(["--dir", str(tmp_path)]) == 1
+        _bench_file(tmp_path / "BENCH_3.json", "2026-01-03T00:00:00",
+                    [("t::dse", 1.0, {"configs_per_s": 790.0})])
+        assert cbr.main(["--dir", str(tmp_path)]) == 0
+
     def test_wallclock_regression_fails_gate(self, tmp_path, capsys):
         import json
 

@@ -10,6 +10,9 @@ Throughput metric per benchmark, in order of preference:
 
 - ``extra_info.macs_per_s`` (the kernel benchmarks record simulated
   MACs per wall-clock second — higher is better), else
+- ``extra_info.configs_per_s`` (the DSE benchmarks record design
+  configurations evaluated per wall-clock second — higher is
+  better), else
 - ``1 / extra_info.wallclock_s`` (the experiment-wallclock benchmarks
   record end-to-end seconds per experiment run — lower is better, so
   the gate diffs the inverse), else
@@ -126,6 +129,9 @@ def throughput_of(record: dict) -> Optional[Tuple[float, str]]:
     macs = extra.get("macs_per_s")
     if isinstance(macs, (int, float)) and macs > 0:
         return float(macs), "macs/s"
+    configs = extra.get("configs_per_s")
+    if isinstance(configs, (int, float)) and configs > 0:
+        return float(configs), "configs/s"
     wallclock = extra.get("wallclock_s")
     if isinstance(wallclock, (int, float)) and wallclock > 0:
         return 1.0 / float(wallclock), "runs/s (wall-clock)"
