@@ -34,6 +34,16 @@
 #   make cache-clear    - drop the on-disk functional-result cache
 #                   ($REPRO_CACHE_DIR, default ~/.cache/repro/results).
 #
+# Observability (repro.obs, see docs/observability.md):
+#
+#   make trace    - record a Chrome trace of a parallel fig12
+#                   functional run (trace_fig12.json, viewable at
+#                   https://ui.perfetto.dev) and print the offline
+#                   phase-attribution summary. Nightly runs this too,
+#                   so a wiring break (unmatched spans, missing worker
+#                   tracks) surfaces there; bench_obs_overhead.py in
+#                   the bench sweep gates the disabled-path cost.
+#
 # `make nightly` runs the whole functional tier on the parallel runner
 # (REPRO_JOBS=0 = one worker per core) and fails when the xval
 # agreement contract trips (`repro experiment xval` exits non-zero) or
@@ -44,7 +54,7 @@ PY         := PYTHONPATH=src python
 STAMP      := $(shell date -u +%Y%m%dT%H%M%SZ)
 BENCH_JSON := BENCH_$(STAMP).json
 
-.PHONY: verify nightly bench check dse fig-functional cache-clear
+.PHONY: verify nightly bench check dse fig-functional cache-clear trace
 
 verify:
 	$(PY) -m pytest -x -q
@@ -56,7 +66,16 @@ verify:
 nightly:
 	REPRO_JOBS=0 $(PY) -m pytest -q -m slow
 	$(PY) -m repro experiment xval --jobs 0
+	$(MAKE) trace
 	$(MAKE) bench
+
+# Quick-mode so the traced run stays seconds even on a loaded nightly
+# box; --no-result-cache so the trace always covers real simulation
+# work (a fully-cached run would attribute everything to finalize).
+trace:
+	$(PY) -m repro experiment fig12 --functional --quick --jobs 4 \
+		--no-result-cache --trace trace_fig12.json
+	$(PY) -m repro trace summarize trace_fig12.json
 
 # Analytic per-point evaluation is sub-millisecond, so the sweep stays
 # serial (--jobs 1) — a process pool would spend more on pickling than

@@ -51,6 +51,7 @@ from repro.energy.costs import DEFAULT_COSTS, CostModel
 from repro.energy.model import AreaModel, EnergyBreakdown, EnergyModel
 from repro.energy.tech import get_tech
 from repro.models.specs import BLOCK_SIZE, LayerSpec, ModelSpec
+from repro.obs import trace as obs_trace
 
 __all__ = ["LayerResult", "AccelRunResult", "AcceleratorModel"]
 
@@ -262,6 +263,12 @@ class AcceleratorModel:
     def _finalize_layer(self, layer: LayerSpec, compute_cycles: int,
                         events: EventCounts) -> LayerResult:
         """Shared tail of both tiers: memory profile, cap, pricing."""
+        with obs_trace.span(layer.name, "finalize", accel=self.name):
+            return self._finalize_layer_body(layer, compute_cycles,
+                                             events)
+
+    def _finalize_layer_body(self, layer: LayerSpec, compute_cycles: int,
+                             events: EventCounts) -> LayerResult:
         profile = self.memory.profile(
             self.layer_traffic(layer, events), compute_cycles,
             name=layer.name)
@@ -385,8 +392,9 @@ class AcceleratorModel:
         if max_m is not None and layer.m > max_m:
             sub = replace(layer, m=max_m)
         a, w = operands_for_layer(sub, seed=seed, cache=cache)
-        sim = self.run_gemm_functional(
-            a, w, **self._functional_gemm_kwargs(layer))
+        with obs_trace.span(layer.name, "simulate", accel=self.name):
+            sim = self.run_gemm_functional(
+                a, w, **self._functional_gemm_kwargs(layer))
         events = sim.events
         compute_cycles = sim.cycles
         if sub is not layer:

@@ -50,6 +50,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.models.specs import LayerKind, LayerSpec
+from repro.obs import trace as obs_trace
 
 __all__ = [
     "DRAMConfig",
@@ -509,6 +510,11 @@ class MemorySystem:
         exact; ``memory_cycles`` is the operand-fill bound and
         ``overlapped_cycles`` the per-tile double-buffered timeline.
         """
+        with obs_trace.span(name or "memory-walk", "memory"):
+            return self._profile_body(traffic, compute_cycles, name)
+
+    def _profile_body(self, traffic: LayerTraffic, compute_cycles: int,
+                      name: str) -> LayerMemoryProfile:
         w, a = traffic.weights, traffic.acts
         weights_resident = w.stored_bytes <= self.sram.usable_wb
         acts_resident = a.stored_bytes <= self.sram.usable_ab

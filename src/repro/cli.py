@@ -51,12 +51,28 @@ adaptively refined around the (energy x cycles x area) Pareto frontier.
 ``--shard I/N`` + ``--out`` freeze one deterministic slice per host;
 ``--merge`` unions the shard artifacts and completes the refinement,
 reproducing the unsharded artifact exactly.
+
+Observability (:mod:`repro.obs`, see docs/observability.md) is wired
+through every command and off by default: ``experiment`` and ``dse``
+take ``--trace FILE`` (or ``REPRO_TRACE=FILE``) to record a Chrome
+trace-event JSON — open it at https://ui.perfetto.dev — with one track
+per pool worker, ``--metrics`` to append the runner/cache counter
+table to the output, and ``--metrics-out FILE`` to dump the same
+registry as JSON; ``repro trace summarize FILE [--top K]`` attributes
+wall-clock to phases offline. ``-v/--verbose`` and ``-q/--quiet``
+control the stdlib-logging channels everywhere (diagnostics on
+stderr, payload on stdout).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Callable, Dict, List, Optional
+
+from repro.obs import logs as obs_logs
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 from repro.accel import (
     SCNN,
@@ -415,10 +431,15 @@ def cmd_cache(args) -> str:
     cache = ResultCache(directory)
     if args.action == "stats":
         stats = cache.stats()
+        # Lifetime hit/miss totals come from the stats.meta sidecar the
+        # runner folds every batch's counts into — they survive process
+        # (and pool-worker) exit, unlike the old in-memory counters.
         return "\n".join([
             f"result cache at {directory}:",
             f"  entries : {stats['entries']:,}",
             f"  bytes   : {stats['bytes']:,}",
+            f"  hits    : {stats['lifetime_hits']:,} (lifetime)",
+            f"  misses  : {stats['lifetime_misses']:,} (lifetime)",
         ])
     if args.action == "clear":
         removed = cache.clear()
@@ -433,6 +454,51 @@ def cmd_cache(args) -> str:
             f"{stats['entries']:,} remain ({stats['bytes']:,} bytes)")
 
 
+def cmd_trace(args) -> str:
+    """Analyze a merged Chrome-trace artifact offline."""
+    from repro.obs.summarize import render_summary, summarize_trace
+
+    if args.top < 1:
+        raise SystemExit("--top must be at least 1")
+    try:
+        summary = summarize_trace(args.file, top=args.top)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(
+            f"cannot summarize {args.file}: {exc}") from None
+    return render_summary(summary)
+
+
+def _add_verbosity_flags(sub_parser) -> None:
+    """``-v``/``-q`` on a subcommand (subparsers only — a flag that is
+    also on the main parser would have its parsed value clobbered by
+    the subparser's default)."""
+    sub_parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="verbose diagnostics on stderr (DEBUG level)")
+    sub_parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="suppress output below errors (including the result "
+             "payload on stdout)")
+
+
+def _add_obs_flags(sub_parser) -> None:
+    """``--trace``/``--metrics`` on the engine-backed subcommands."""
+    sub_parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON of this run (per-worker "
+             "tracks; open in Perfetto / chrome://tracing; summarize "
+             "with 'repro trace summarize FILE'). Default: $"
+             + obs_trace.TRACE_ENV)
+    sub_parser.add_argument(
+        "--metrics", action="store_true",
+        help="append the engine metrics summary (runner telemetry, "
+             "cache hit/miss/eviction aggregates incl. pool workers) "
+             "to the output")
+    sub_parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="dump the engine metrics as JSON next to the artifact")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -440,9 +506,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-models").set_defaults(func=cmd_list_models)
-    sub.add_parser("list-accelerators").set_defaults(
-        func=cmd_list_accelerators)
+    list_models = sub.add_parser("list-models")
+    list_models.set_defaults(func=cmd_list_models)
+    list_accels = sub.add_parser("list-accelerators")
+    list_accels.set_defaults(func=cmd_list_accelerators)
 
     run = sub.add_parser("run", help="run a model on an accelerator")
     run.add_argument("model", choices=sorted(MODEL_SPECS))
@@ -487,6 +554,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--no-result-cache", action="store_true",
                      help="skip the on-disk functional-result cache for "
                           "this invocation (see 'repro cache')")
+    _add_obs_flags(exp)
+    _add_verbosity_flags(exp)
     exp.set_defaults(func=cmd_experiment)
 
     sweep = sub.add_parser("sweep", help="Sec. 7 design-space sweep")
@@ -558,6 +627,8 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--no-result-cache", action="store_true",
                      help="skip the on-disk result cache for this "
                           "invocation (see 'repro cache')")
+    _add_obs_flags(dse)
+    _add_verbosity_flags(dse)
     dse.set_defaults(func=cmd_dse)
 
     cache = sub.add_parser(
@@ -576,12 +647,56 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-mb", type=float, default=256,
                        help="size cap for 'prune' (MB; oldest entries "
                             "evicted first; default 256)")
+    _add_verbosity_flags(cache)
     cache.set_defaults(func=cmd_cache)
+
+    trace = sub.add_parser(
+        "trace",
+        help="analyze a Chrome-trace artifact from --trace",
+        description="Offline attribution for a trace produced by "
+                    "--trace (or $REPRO_TRACE) on experiment/dse runs: "
+                    "per-track wall-clock coverage, per-phase self-time "
+                    "attribution (synthesize / simulate / memory / "
+                    "finalize / runner), and the top-k spans.")
+    trace.add_argument("action", choices=("summarize",))
+    trace.add_argument("file", help="Chrome trace-event JSON artifact")
+    trace.add_argument("--top", type=int, default=10, metavar="K",
+                       help="span rows to print (default 10)")
+    _add_verbosity_flags(trace)
+    trace.set_defaults(func=cmd_trace)
+
+    for extra in (run, sweep):
+        _add_verbosity_flags(extra)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> str:
+    """Parse, dispatch, emit. Returns the payload string (tests and
+    embedding callers consume the return value; stdout emission routes
+    through the ``repro.out`` logger so ``-q`` can silence it)."""
     args = build_parser().parse_args(argv)
-    output = args.func(args)
-    print(output)
+    verbosity = (getattr(args, "verbose", 0) - getattr(args, "quiet", 0))
+    obs_logs.configure_logging(verbosity)
+    log = obs_logs.get_logger(__name__)
+
+    # Tracing spans the whole dispatch for the subcommands that opt in
+    # (experiment/dse carry --trace; $REPRO_TRACE is the env default).
+    trace_out = None
+    if hasattr(args, "trace") and args.command != "trace":
+        trace_out = args.trace or os.environ.get(obs_trace.TRACE_ENV)
+    session = obs_trace.start_tracing(trace_out) if trace_out else None
+
+    try:
+        output = args.func(args)
+    finally:
+        trace_path = obs_trace.stop_tracing() if session else None
+
+    if trace_path is not None:
+        output += f"\nwrote trace to {trace_path}"
+    if getattr(args, "metrics_out", None):
+        obs_metrics.default_registry().dump_json(args.metrics_out)
+        log.debug("wrote metrics JSON to %s", args.metrics_out)
+    if getattr(args, "metrics", False):
+        output += "\n\n" + obs_metrics.default_registry().render()
+    obs_logs.output_logger().info("%s", output)
     return output

@@ -47,6 +47,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.design.space import DesignPoint, enumerate_design_space
 from repro.eval.tables import ExperimentResult
 from repro.models.specs import BLOCK_SIZE, LayerSpec
+from repro.obs import trace as obs_trace
+from repro.obs.trace import traced
 from repro.workloads.typical import typical_conv_layer
 
 __all__ = [
@@ -468,9 +470,12 @@ def _refine(space: DSESpace, evaluations: Dict[str, DSEEvaluation],
             # Every point reachable from the frontier is evaluated and
             # none displaced it: stable by exhaustion.
             break
-        evaluations.update(evaluate_points(
-            candidates, fidelity=config["fidelity"], seed=config["seed"],
-            max_m=config["max_m"], jobs=jobs, result_cache=result_cache))
+        with obs_trace.span(f"refine-round-{len(rounds)}", "dse",
+                            candidates=len(candidates)):
+            evaluations.update(evaluate_points(
+                candidates, fidelity=config["fidelity"],
+                seed=config["seed"], max_m=config["max_m"], jobs=jobs,
+                result_cache=result_cache))
         new_frontier = pareto_frontier_3d(evaluations.values())
         stable = (stable + 1
                   if [e.uid for e in new_frontier] == frontier_uids
@@ -482,6 +487,7 @@ def _refine(space: DSESpace, evaluations: Dict[str, DSEEvaluation],
     return frontier, rounds
 
 
+@traced("dse", "experiment")
 def run_dse(
     axes: Optional[DSEAxes] = None,
     coarse_stride: int = 4,
@@ -512,14 +518,16 @@ def run_dse(
     if shard is not None:
         index, count = shard
         owned = coarse[index::count]
-        evaluations = evaluate_points(
-            owned, fidelity=fidelity, seed=seed, max_m=max_m,
-            jobs=jobs, result_cache=result_cache)
+        with obs_trace.span("coarse-shard", "dse", points=len(owned)):
+            evaluations = evaluate_points(
+                owned, fidelity=fidelity, seed=seed, max_m=max_m,
+                jobs=jobs, result_cache=result_cache)
         return _artifact(config, len(space), "coarse", shard,
                          evaluations, [], [], result_cache)
-    evaluations = evaluate_points(
-        coarse, fidelity=fidelity, seed=seed, max_m=max_m,
-        jobs=jobs, result_cache=result_cache)
+    with obs_trace.span("coarse", "dse", points=len(coarse)):
+        evaluations = evaluate_points(
+            coarse, fidelity=fidelity, seed=seed, max_m=max_m,
+            jobs=jobs, result_cache=result_cache)
     frontier, rounds = _refine(space, evaluations, config, jobs,
                                result_cache)
     return _artifact(config, len(space), "final", None, evaluations,

@@ -43,6 +43,7 @@ from repro.core.dbb import DBBSpec
 from repro.energy.costs import DEFAULT_COSTS, CostModel
 from repro.eval.tables import ExperimentResult
 from repro.models import get_spec
+from repro.obs.trace import traced
 from repro.workloads.microbench import SWEEP_SPARSITIES
 from repro.workloads.typical import typical_conv_layer
 
@@ -513,6 +514,7 @@ def _functional_runs(accels: Dict[str, AcceleratorModel], specs,
             for (name, spec), run in zip(pairs, runs)}
 
 
+@traced("fig11", "experiment")
 def fig11_full_models(functional: bool = False, quick: bool = False,
                       seed: int = 0,
                       dram_gbps: Optional[float] = None,
@@ -597,6 +599,7 @@ def fig11_full_models(functional: bool = False, quick: bool = False,
 # Figure 12
 # --------------------------------------------------------------------- #
 
+@traced("fig12", "experiment")
 def fig12_alexnet_per_layer(functional: bool = False, quick: bool = False,
                             seed: int = 0,
                             dram_gbps: Optional[float] = None,
@@ -716,6 +719,7 @@ XVAL_CONTRACT: Dict[str, XvalContract] = {
 }
 
 
+@traced("xval", "experiment")
 def xval_functional_vs_analytic(
     model: str = "alexnet",
     tech: str = "16nm",

@@ -46,9 +46,14 @@ import tempfile
 from typing import Dict, Optional, Tuple
 
 from repro.arch.events import EventCounts
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["CODE_VERSION", "ResultCache", "default_result_cache",
            "payload_key"]
+
+#: Lifetime-stats sidecar filename. Deliberately *not* ``*.json`` so
+#: the entry glob (and byte accounting / eviction) never sees it.
+STATS_SIDECAR = "stats.meta"
 
 #: Version salt folded into every cache key. Bump whenever any
 #: functional simulator's event accounting or operand synthesis
@@ -145,6 +150,12 @@ class ResultCache:
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        # Counts already folded into the on-disk lifetime sidecar, so
+        # repeated persist_stats() calls only add the new delta.
+        self._persisted = {"hits": 0, "misses": 0, "puts": 0,
+                           "evictions": 0}
         # Running size estimate so ``put`` does not re-scan the whole
         # directory per insert: seeded by one scan on the first put,
         # advanced per entry, re-anchored whenever eviction runs.
@@ -179,8 +190,11 @@ class ResultCache:
             events = EventCounts(**payload["events"])
         except (OSError, ValueError, TypeError, KeyError):
             self.misses += 1
+            obs_metrics.default_registry().counter(
+                "result_cache.misses").inc()
             return None
         self.hits += 1
+        obs_metrics.default_registry().counter("result_cache.hits").inc()
         return int(compute_cycles), events
 
     def put(self, key: str, compute_cycles: int,
@@ -212,6 +226,10 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self.puts += 1
+        obs_metrics.default_registry().counter("result_cache.puts").inc()
+        obs_metrics.default_registry().counter(
+            "result_cache.bytes_written").inc(len(blob))
         if self._approx_bytes is None:
             self._approx_bytes = sum(size for _, size, _ in self._entries())
         else:
@@ -237,12 +255,71 @@ class ResultCache:
 
     def stats(self) -> Dict[str, int]:
         entries = self._entries()
+        lifetime = self.lifetime_stats()
         return {
             "entries": len(entries),
             "bytes": sum(size for _, size, _ in entries),
             "hits": self.hits,
             "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "lifetime_hits": lifetime["hits"] + self.hits
+            - self._persisted["hits"],
+            "lifetime_misses": lifetime["misses"] + self.misses
+            - self._persisted["misses"],
         }
+
+    # ------------------------------------------------------------- #
+    # lifetime stats (cross-run, cross-process)
+    # ------------------------------------------------------------- #
+
+    def _sidecar_path(self) -> pathlib.Path:
+        return self.path / STATS_SIDECAR
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Totals persisted across runs/processes (zeros when absent).
+
+        Before PR 8 these counts were unrecoverable: each process (and
+        each pool run) started its in-memory counters at zero and threw
+        them away on exit. The sidecar accumulates them instead.
+        """
+        base = {"hits": 0, "misses": 0, "puts": 0, "evictions": 0}
+        try:
+            data = json.loads(self._sidecar_path().read_text())
+        except (OSError, ValueError):
+            return base
+        for key in base:
+            value = data.get(key)
+            if isinstance(value, int) and value >= 0:
+                base[key] = value
+        return base
+
+    def persist_stats(self) -> None:
+        """Fold this instance's not-yet-persisted counter deltas into
+        the on-disk lifetime sidecar (atomic replace; the cross-process
+        read-modify-write is best-effort, like eviction)."""
+        current = {"hits": self.hits, "misses": self.misses,
+                   "puts": self.puts, "evictions": self.evictions}
+        delta = {key: current[key] - self._persisted[key]
+                 for key in current}
+        if not any(delta.values()):
+            return
+        totals = self.lifetime_stats()
+        for key, value in delta.items():
+            totals[key] += value
+        self.path.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(totals, handle, sort_keys=True)
+            os.replace(tmp, self._sidecar_path())
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self._persisted = current
 
     def prune(self, max_bytes: int) -> int:
         """Evict oldest entries until the store fits ``max_bytes``;
@@ -262,10 +339,14 @@ class ResultCache:
             total -= size
             removed += 1
         self._approx_bytes = total
+        self.evictions += removed
+        obs_metrics.default_registry().counter(
+            "result_cache.evictions").inc(removed)
         return removed
 
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every entry (and the lifetime-stats sidecar);
+        returns the number of entries removed."""
         removed = 0
         for path, _, _ in self._entries():
             try:
@@ -273,8 +354,16 @@ class ResultCache:
             except OSError:
                 continue
             removed += 1
+        try:
+            self._sidecar_path().unlink()
+        except OSError:
+            pass
         self.hits = 0
         self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self._persisted = {"hits": 0, "misses": 0, "puts": 0,
+                           "evictions": 0}
         self._approx_bytes = 0
         return removed
 

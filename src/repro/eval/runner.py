@@ -38,6 +38,7 @@ aggregate resident operand bytes stay within the configured budget
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -48,6 +49,8 @@ from repro.accel.base import AcceleratorModel, AccelRunResult
 from repro.arch.events import EventCounts
 from repro.eval.resultcache import ResultCache
 from repro.models.specs import LayerSpec, ModelSpec
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = [
     "LayerSimTask",
@@ -108,20 +111,88 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _worker_init(operand_budget: int) -> None:
+def _worker_init(operand_budget: int,
+                 shard_dir: Optional[str] = None) -> None:
     """Pool initializer: cap this worker's process-local operand cache
-    at its share of the parent's byte budget."""
+    at its share of the parent's byte budget, zero the fork-inherited
+    cache counters (so the stats this worker returns with its payloads
+    are pure deltas), and — when the parent is tracing — open this
+    worker's trace shard."""
     from repro.workloads.from_spec import default_operand_cache
 
-    default_operand_cache().resize(operand_budget)
+    obs_trace.reset_for_worker(shard_dir)
+    cache = default_operand_cache()
+    cache.resize(operand_budget)
+    cache.reset_stats()
 
 
 def _simulate_task(task: LayerSimTask) -> Tuple[int, EventCounts]:
-    """Worker body — module-level so the pool can pickle it."""
+    """The bare simulation body for one task."""
     if task.analytic:
         return task.accel._layer_events(task.layer)
     return task.accel.simulate_layer_functional(
         task.layer, seed=task.seed, max_m=task.max_m)
+
+
+def _run_task(task: LayerSimTask
+              ) -> Tuple[Tuple[int, EventCounts], dict]:
+    """Worker body — module-level so the pool can pickle it.
+
+    Returns ``(payload, telemetry)``: the simulation result plus this
+    worker's pid, the task's monotonic start/end, and a *cumulative*
+    snapshot of the worker's operand-cache counters. Shipping counters
+    with payloads is what makes worker-side cache statistics survive
+    pool teardown — the parent folds the final snapshot per pid into
+    the process-wide metrics registry (see ``_merge_worker_telemetry``).
+    """
+    from repro.workloads.from_spec import default_operand_cache
+
+    start_ns = time.perf_counter_ns()
+    with obs_trace.span(task.layer.name, "layer",
+                        accel=task.accel.name, tier=task.tier):
+        payload = _simulate_task(task)
+    end_ns = time.perf_counter_ns()
+    stats = default_operand_cache().stats()
+    telemetry = {
+        "pid": os.getpid(),
+        "start_ns": start_ns,
+        "end_ns": end_ns,
+        "operand_cache": {key: stats[key] for key in
+                          ("hits", "misses", "evictions", "races")},
+    }
+    return payload, telemetry
+
+
+def _merge_worker_telemetry(registry, dispatch_ns: int,
+                            telemetry: Sequence[dict]) -> None:
+    """Fold per-task worker telemetry into the parent's registry.
+
+    Queue wait is measured from batch dispatch to the task's start on
+    a worker (tasks that sat behind others accumulate it); compute is
+    the span on the worker. Operand-cache counters arrive cumulative
+    per worker, so only each pid's largest (= last) snapshot counts,
+    summed across pids.
+    """
+    per_worker_tasks: Dict[int, int] = {}
+    cache_final: Dict[int, Dict[str, int]] = {}
+    queue_wait = registry.histogram("runner.queue_wait_ns")
+    compute = registry.histogram("runner.compute_ns")
+    for record in telemetry:
+        pid = record["pid"]
+        per_worker_tasks[pid] = per_worker_tasks.get(pid, 0) + 1
+        queue_wait.observe(max(0, record["start_ns"] - dispatch_ns))
+        compute.observe(max(0, record["end_ns"] - record["start_ns"]))
+        snap = cache_final.setdefault(pid, {})
+        for key, value in record["operand_cache"].items():
+            snap[key] = max(snap.get(key, 0), value)
+    load = registry.histogram("runner.tasks_per_worker")
+    for count in per_worker_tasks.values():
+        load.observe(count)
+    totals: Dict[str, int] = {}
+    for snap in cache_final.values():
+        for key, value in snap.items():
+            totals[key] = totals.get(key, 0) + value
+    registry.merge_counts(totals, prefix="operand_cache.")
 
 
 def _copy_events(payload: Tuple[int, EventCounts]
@@ -163,6 +234,8 @@ def simulate_layer_tasks(
     from repro.eval.resultcache import payload_key
 
     jobs = resolve_jobs(jobs)
+    registry = obs_metrics.default_registry()
+    registry.counter("runner.tasks").inc(len(tasks))
     results: Dict[int, Tuple[int, EventCounts]] = {}
     keys: List[str] = []
     pending: List[int] = []
@@ -183,6 +256,8 @@ def simulate_layer_tasks(
         first_with_key[key] = i
         pending.append(i)
 
+    registry.counter("runner.deduped").inc(len(dup_of))
+    registry.counter("runner.simulated").inc(len(pending))
     if pending:
         if jobs > 1 and len(pending) > 1:
             from repro.workloads.from_spec import default_operand_cache
@@ -190,29 +265,61 @@ def simulate_layer_tasks(
             workers = min(jobs, len(pending))
             budget = max(default_operand_cache().max_bytes // workers,
                          MIN_WORKER_OPERAND_BUDGET)
-            with ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=_pool_context(),
-                    initializer=_worker_init,
-                    initargs=(budget,)) as pool:
-                payloads = list(pool.map(
-                    _simulate_task, [tasks[i] for i in pending],
-                    chunksize=1))
+            registry.counter("runner.pool_batches").inc()
+            registry.gauge("runner.pool_workers").set(workers)
+            dispatch_ns = time.perf_counter_ns()
+            with obs_trace.span("pool", "runner", workers=workers,
+                                tasks=len(pending)):
+                with ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=_pool_context(),
+                        initializer=_worker_init,
+                        initargs=(budget,
+                                  obs_trace.active_shard_dir())) as pool:
+                    outcomes = list(pool.map(
+                        _run_task, [tasks[i] for i in pending],
+                        chunksize=1))
+            payloads = [payload for payload, _ in outcomes]
+            _merge_worker_telemetry(
+                registry, dispatch_ns,
+                [record for _, record in outcomes])
         else:
-            payloads = [
-                tasks[i].accel._layer_events(tasks[i].layer)
-                if tasks[i].analytic
-                else tasks[i].accel.simulate_layer_functional(
-                    tasks[i].layer, seed=tasks[i].seed,
-                    max_m=tasks[i].max_m, cache=operand_cache)
-                for i in pending
-            ]
+            from repro.workloads.from_spec import default_operand_cache
+
+            op_cache = (operand_cache if operand_cache is not None
+                        else default_operand_cache())
+            before = op_cache.stats()
+            compute = registry.histogram("runner.compute_ns")
+            payloads = []
+            for i in pending:
+                task = tasks[i]
+                start_ns = time.perf_counter_ns()
+                with obs_trace.span(task.layer.name, "layer",
+                                    accel=task.accel.name,
+                                    tier=task.tier):
+                    if task.analytic:
+                        payload = task.accel._layer_events(task.layer)
+                    else:
+                        payload = task.accel.simulate_layer_functional(
+                            task.layer, seed=task.seed,
+                            max_m=task.max_m, cache=operand_cache)
+                compute.observe(time.perf_counter_ns() - start_ns)
+                payloads.append(payload)
+            after = op_cache.stats()
+            registry.merge_counts(
+                {key: after[key] - before[key]
+                 for key in ("hits", "misses", "evictions", "races")},
+                prefix="operand_cache.")
         for i, payload in zip(pending, payloads):
             results[i] = payload
             if result_cache is not None:
                 result_cache.put(keys[i], payload[0], payload[1])
     for i, j in dup_of.items():
         results[i] = results[j]
+    if result_cache is not None:
+        # Fold this batch's hit/miss counts into the cache's on-disk
+        # lifetime totals so `repro cache stats` sees cross-run history.
+        result_cache.persist_stats()
     return [_copy_events(results[i]) for i in range(len(tasks))]
 
 
@@ -256,10 +363,12 @@ def functional_model_runs(
             tech=accel.tech,
             clock_ghz=accel.clock_ghz,
         )
-        for layer in layers:
-            compute_cycles, events = payloads[pos]
-            pos += 1
-            run.layer_results.append(
-                accel._finalize_layer(layer, compute_cycles, events))
+        with obs_trace.span(f"{accel.name}:{spec.name}", "model",
+                            layers=len(layers)):
+            for layer in layers:
+                compute_cycles, events = payloads[pos]
+                pos += 1
+                run.layer_results.append(
+                    accel._finalize_layer(layer, compute_cycles, events))
         out.append(run)
     return out

@@ -1,0 +1,61 @@
+"""Zero-dependency observability layer: tracing, metrics, logging.
+
+The experiment engine got fast (PR 5) and distributed (PR 7) before it
+got observable: a single ``print`` in the CLI, process-local cache
+counters that died with their pool workers, and an offline profiling
+script were the only windows into where wall-clock and energy-model
+time go. This package is the cross-cutting fix:
+
+- :mod:`repro.obs.trace` — a span/event tracer with injected monotonic
+  clocks emitting Chrome trace-event JSON (open the artifact in
+  Perfetto / ``chrome://tracing``). Spans nest experiment -> model ->
+  layer -> (synthesize, simulate, memory-walk, finalize); pool workers
+  write per-process shard files the parent merges into one trace with
+  per-worker tracks. Off by default, and provably free when off: the
+  disabled path is one module-global load and a shared no-op context
+  manager (frozen by ``benchmarks/bench_obs_overhead.py``).
+- :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges and histograms. The runner aggregates worker-side telemetry
+  (operand-cache hits/misses/evictions/races, per-worker load balance,
+  queue-wait vs compute time) into it, fixing the lost-stats gap where
+  pool workers' cache counters vanished on exit; the result cache
+  additionally persists lifetime hit/miss totals beside its entries.
+- :mod:`repro.obs.logs` — the shared standard-library ``logging``
+  configuration behind the CLI's ``-v``/``-q`` flags and the
+  benchmark/tool diagnostics.
+- :mod:`repro.obs.summarize` — ``repro trace summarize FILE``: top-k
+  spans, per-phase (category) attribution and per-track coverage, so
+  "where did the time go" is a one-command diagnosis.
+
+Instrumentation points import this package only at module load (no
+per-call imports in hot loops) and guard every emission on
+:func:`repro.obs.trace.tracing_enabled`, so the bit-exact hot paths
+are unchanged when tracing is off — the golden pins cannot move, and
+the ``CODE_VERSION`` cache salt is untouched because event accounting
+never changes.
+"""
+
+from repro.obs import logs, metrics, trace  # noqa: F401
+from repro.obs.logs import configure_logging, get_logger  # noqa: F401
+from repro.obs.metrics import MetricsRegistry, default_registry  # noqa: F401
+from repro.obs.trace import (  # noqa: F401
+    TraceSession,
+    Tracer,
+    span,
+    start_tracing,
+    stop_tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "configure_logging",
+    "get_logger",
+    "MetricsRegistry",
+    "default_registry",
+    "TraceSession",
+    "Tracer",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "tracing_enabled",
+]

@@ -1,0 +1,91 @@
+"""Shared standard-library logging configuration.
+
+Two channels, deliberately separate:
+
+- The ``repro`` logger hierarchy carries *diagnostics* — progress,
+  warnings, timing notes — to **stderr**. ``-v`` raises it to DEBUG,
+  default is WARNING (quiet pipes), ``-q`` silences everything below
+  ERROR. Benchmarks and tools log through ``get_logger(__name__)``
+  instead of bare ``print`` so one flag governs all noise.
+- The ``repro.out`` logger carries the CLI's *payload* (tables,
+  artifact summaries) to **stdout** with no decoration, replacing the
+  lone ``print`` in ``cli.py``. It stays at INFO regardless of ``-v``
+  and is only suppressed by ``-q``, so scripted callers piping stdout
+  keep byte-identical output by default.
+
+``configure_logging`` is idempotent (re-running replaces the handlers
+it installed rather than stacking duplicates), which keeps repeated
+in-process ``main()`` calls — the test suite's usage — well-behaved.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging", "get_logger", "output_logger",
+           "OUT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+OUT_LOGGER_NAME = "repro.out"
+
+_DIAG_FORMAT = "%(levelname)s %(name)s: %(message)s"
+# Tag our handlers so reconfiguration can find and replace exactly
+# them, leaving any caller-installed handlers (pytest's caplog, an
+# embedding application) alone.
+_MANAGED_ATTR = "_repro_obs_managed"
+
+
+def _replace_managed_handler(logger: logging.Logger,
+                             handler: logging.Handler) -> None:
+    for existing in list(logger.handlers):
+        if getattr(existing, _MANAGED_ATTR, False):
+            logger.removeHandler(existing)
+    setattr(handler, _MANAGED_ATTR, True)
+    logger.addHandler(handler)
+
+
+def configure_logging(verbosity: int = 0) -> None:
+    """Install the shared handler config.
+
+    ``verbosity``: negative = quiet (``-q``), 0 = default, positive =
+    verbose (``-v``; any value >= 1 maps to DEBUG — there is only one
+    extra rung).
+    """
+    if verbosity < 0:
+        diag_level, out_level = logging.ERROR, logging.CRITICAL
+    elif verbosity == 0:
+        diag_level, out_level = logging.WARNING, logging.INFO
+    else:
+        diag_level, out_level = logging.DEBUG, logging.INFO
+
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    diag = logging.StreamHandler(sys.stderr)
+    diag.setFormatter(logging.Formatter(_DIAG_FORMAT))
+    _replace_managed_handler(root, diag)
+    root.setLevel(diag_level)
+    root.propagate = False
+
+    out = logging.getLogger(OUT_LOGGER_NAME)
+    payload = logging.StreamHandler(sys.stdout)
+    payload.setFormatter(logging.Formatter("%(message)s"))
+    _replace_managed_handler(out, payload)
+    out.setLevel(out_level)
+    out.propagate = False  # payload must never hit the stderr handler
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A diagnostics logger under the ``repro`` hierarchy.
+
+    Pass ``__name__``; callers outside the package (benchmarks, tools)
+    are re-rooted under ``repro.`` so one configuration governs them.
+    """
+    if name != ROOT_LOGGER_NAME and not name.startswith(
+            ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def output_logger() -> logging.Logger:
+    """The stdout payload channel (see module docstring)."""
+    return logging.getLogger(OUT_LOGGER_NAME)

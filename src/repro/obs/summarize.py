@@ -1,0 +1,178 @@
+"""Offline analysis of a merged Chrome-trace artifact.
+
+``repro trace summarize FILE`` answers "where did the time go" without
+opening Perfetto: per-track (process) wall-clock coverage, per-phase
+(category) attribution by *self time* (a span's duration minus its
+children's, so nested spans never double-count), and the top-k
+individual spans by total duration.
+
+Works on anything this repo's tracer wrote — and, because it only
+relies on the standard trace-event fields, on most externally produced
+Chrome traces too (unknown phases are ignored, unmatched ``B``/``E``
+events are counted and reported rather than fatal).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+__all__ = ["summarize_trace", "load_trace_events", "render_summary"]
+
+
+def load_trace_events(path) -> List[dict]:
+    """Events from a Chrome-trace artifact (object or bare-array form)."""
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents", [])
+    else:
+        events = payload
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: traceEvents is not a list")
+    return [e for e in events if isinstance(e, dict)]
+
+
+def _pair_spans(events: List[dict]) -> Tuple[List[dict], int]:
+    """Match B/E pairs per (pid, tid) stack; returns (spans, unmatched).
+
+    Each span dict carries name/cat/pid/tid/start/end/dur_us/self_us,
+    with ``self_us`` already reduced by enclosed child time.
+    """
+    stacks: Dict[Tuple[int, int], List[dict]] = defaultdict(list)
+    spans: List[dict] = []
+    unmatched = 0
+    for event in events:
+        ph = event.get("ph")
+        if ph not in ("B", "E"):
+            continue
+        key = (event.get("pid", 0), event.get("tid", 0))
+        stack = stacks[key]
+        if ph == "B":
+            stack.append({
+                "name": event.get("name", "?"),
+                "cat": event.get("cat", "?"),
+                "pid": key[0],
+                "tid": key[1],
+                "start": event.get("ts", 0),
+                "child_us": 0,
+            })
+        else:
+            if not stack:
+                unmatched += 1
+                continue
+            span = stack.pop()
+            span["end"] = event.get("ts", span["start"])
+            span["dur_us"] = max(0, span["end"] - span["start"])
+            span["self_us"] = max(0, span["dur_us"] - span.pop("child_us"))
+            if stack:
+                stack[-1]["child_us"] += span["dur_us"]
+            spans.append(span)
+    unmatched += sum(len(s) for s in stacks.values())  # dangling B's
+    return spans, unmatched
+
+
+def summarize_trace(path, top: int = 10) -> dict:
+    """Aggregate a trace artifact into a summary dict (JSON-ready)."""
+    events = load_trace_events(path)
+    spans, unmatched = _pair_spans(events)
+
+    # Wall-clock per process track: span of [min B ts, max E ts].
+    tracks: Dict[int, dict] = {}
+    for span in spans:
+        track = tracks.setdefault(span["pid"], {
+            "start": span["start"], "end": span["end"],
+            "spans": 0, "top_self_us": 0})
+        track["start"] = min(track["start"], span["start"])
+        track["end"] = max(track["end"], span["end"])
+        track["spans"] += 1
+        track["top_self_us"] += span["self_us"]
+
+    # Per-category and per-name self-time attribution (no
+    # double-counting: self time partitions each track's covered time).
+    by_cat: Dict[str, int] = defaultdict(int)
+    by_name: Dict[Tuple[str, str], dict] = {}
+    for span in spans:
+        by_cat[span["cat"]] += span["self_us"]
+        agg = by_name.setdefault((span["name"], span["cat"]), {
+            "count": 0, "total_us": 0, "self_us": 0})
+        agg["count"] += 1
+        agg["total_us"] += span["dur_us"]
+        agg["self_us"] += span["self_us"]
+
+    wall_us = sum(max(0, t["end"] - t["start"]) for t in tracks.values())
+    attributed_us = sum(t["top_self_us"] for t in tracks.values())
+    coverage = attributed_us / wall_us if wall_us else 1.0
+
+    top_spans = sorted(
+        ({"name": name, "cat": cat, **agg}
+         for (name, cat), agg in by_name.items()),
+        key=lambda r: r["total_us"], reverse=True)[:top]
+
+    process_names = {
+        e.get("pid"): (e.get("args") or {}).get("name")
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+
+    return {
+        "path": str(path),
+        "events": len(events),
+        "spans": len(spans),
+        "unmatched_events": unmatched,
+        "tracks": {
+            str(pid): {
+                "label": process_names.get(pid) or f"pid {pid}",
+                "wall_us": max(0, t["end"] - t["start"]),
+                "spans": t["spans"],
+            }
+            for pid, t in sorted(tracks.items())
+        },
+        "wall_us": wall_us,
+        "attributed_us": attributed_us,
+        "coverage": coverage,
+        "by_category_self_us": dict(
+            sorted(by_cat.items(), key=lambda kv: kv[1], reverse=True)),
+        "top_spans": top_spans,
+    }
+
+
+def _fmt_us(us: float) -> str:
+    if us >= 1_000_000:
+        return f"{us / 1_000_000:.2f}s"
+    if us >= 1_000:
+        return f"{us / 1_000:.1f}ms"
+    return f"{us:.0f}us"
+
+
+def render_summary(summary: dict) -> str:
+    """Human-readable form of :func:`summarize_trace`'s output."""
+    lines: List[str] = []
+    lines.append(f"trace    : {summary['path']}")
+    lines.append(f"events   : {summary['events']} "
+                 f"({summary['spans']} spans, "
+                 f"{summary['unmatched_events']} unmatched)")
+    lines.append(f"tracks   : {len(summary['tracks'])}")
+    for pid, track in summary["tracks"].items():
+        lines.append(f"  pid {pid:<8} {_fmt_us(track['wall_us']):>10}  "
+                     f"{track['spans']:>5} spans  {track['label']}")
+    lines.append(f"coverage : {summary['coverage'] * 100:.1f}% of "
+                 f"{_fmt_us(summary['wall_us'])} wall-clock attributed "
+                 f"to named spans")
+    lines.append("")
+    lines.append("per-phase self time")
+    total_self = sum(summary["by_category_self_us"].values()) or 1
+    for cat, self_us in summary["by_category_self_us"].items():
+        share = 100.0 * self_us / total_self
+        lines.append(f"  {cat:<16} {_fmt_us(self_us):>10}  {share:5.1f}%")
+    lines.append("")
+    lines.append(f"top spans by total time")
+    lines.append(f"  {'name':<28} {'count':>6} {'total':>10} "
+                 f"{'self':>10}  cat")
+    for row in summary["top_spans"]:
+        lines.append(
+            f"  {row['name']:<28} {row['count']:>6} "
+            f"{_fmt_us(row['total_us']):>10} "
+            f"{_fmt_us(row['self_us']):>10}  {row['cat']}")
+    return "\n".join(lines)

@@ -43,6 +43,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.models.specs import BLOCK_SIZE, LayerSpec
+from repro.obs import trace as obs_trace
 
 __all__ = [
     "blocked_density_operand",
@@ -134,16 +135,18 @@ def spec_operands(
     (i.e. compressible by the hardware's static weight path). Densities
     match ``layer.a_density`` / ``layer.w_density`` in expectation.
     """
-    rng = np.random.default_rng(
-        np.random.SeedSequence([seed, layer.m, layer.k, layer.n,
-                                layer.w_nnz, layer.a_nnz]))
-    w = blocked_density_operand(
-        layer.n, layer.k, layer.w_nnz, min(layer.w_density, 1.0),
-        rng, dtype=dtype).T
-    a = blocked_density_operand(
-        layer.m, layer.k, layer.a_nnz, min(layer.a_density, 1.0),
-        rng, dtype=dtype)
-    return a, w
+    with obs_trace.span(layer.name, "synthesize",
+                        m=layer.m, k=layer.k, n=layer.n, seed=seed):
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, layer.m, layer.k, layer.n,
+                                    layer.w_nnz, layer.a_nnz]))
+        w = blocked_density_operand(
+            layer.n, layer.k, layer.w_nnz, min(layer.w_density, 1.0),
+            rng, dtype=dtype).T
+        a = blocked_density_operand(
+            layer.m, layer.k, layer.a_nnz, min(layer.a_density, 1.0),
+            rng, dtype=dtype)
+        return a, w
 
 
 class OperandCache:
@@ -180,6 +183,7 @@ class OperandCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.races = 0
 
     @staticmethod
     def _key(layer: LayerSpec, seed: int) -> tuple:
@@ -209,6 +213,7 @@ class OperandCache:
             raced = self._entries.get(key)
             if raced is not None:
                 self._entries.move_to_end(key)
+                self.races += 1
                 return raced
             if item_bytes <= self.max_bytes:
                 self._entries[key] = (a, w)
@@ -244,15 +249,23 @@ class OperandCache:
         with self._lock:
             self._entries.clear()
             self.current_bytes = 0
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
+            self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the counters without dropping entries — pool workers
+        call this at init so fork-inherited parent counts never pollute
+        the deltas they return with their task payloads."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.races = 0
 
     def stats(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "races": self.races,
             "entries": len(self._entries),
             "bytes": self.current_bytes,
         }

@@ -96,7 +96,10 @@ class TestStore:
             cache.put(f"k{i}", i, EventCounts(cycles=i))
         assert cache.clear() == 3
         assert cache.stats() == {"entries": 0, "bytes": 0,
-                                 "hits": 0, "misses": 0}
+                                 "hits": 0, "misses": 0,
+                                 "puts": 0, "evictions": 0,
+                                 "lifetime_hits": 0,
+                                 "lifetime_misses": 0}
 
     def test_size_cap_evicts_oldest(self, cache, tmp_path):
         import os
@@ -171,3 +174,58 @@ class TestPayloadKeyTiers:
         accel = ZvcgSA()
         assert resultcache.payload_key(accel, CONV2, tier="analytic") \
             != resultcache.payload_key(accel, CONV2, tier="functional")
+
+
+class TestLifetimeStats:
+    """The PR-8 sidecar: hit/miss counts survive process exit, so
+    ``repro cache stats`` finally reports real lifetime numbers."""
+
+    def test_persisted_counts_survive_new_instance(self, cache):
+        cache.put("k", 0, EventCounts(cycles=1))
+        cache.get("k")            # hit
+        cache.get("absent")       # miss
+        cache.persist_stats()
+
+        fresh = ResultCache(cache.path)
+        assert fresh.hits == 0 and fresh.misses == 0
+        stats = fresh.stats()
+        assert stats["lifetime_hits"] == 1
+        assert stats["lifetime_misses"] == 1
+
+    def test_persist_is_delta_not_total(self, cache):
+        cache.get("absent")
+        cache.persist_stats()
+        cache.persist_stats()     # no new activity: no double count
+        cache.get("absent")
+        cache.persist_stats()
+        assert cache.lifetime_stats()["misses"] == 2
+
+    def test_live_counts_fold_into_lifetime_view(self, cache):
+        cache.get("absent")
+        cache.persist_stats()
+        cache.get("absent")       # not yet persisted
+        assert cache.stats()["lifetime_misses"] == 2
+
+    def test_sidecar_is_not_a_cache_entry(self, cache):
+        cache.get("absent")
+        cache.persist_stats()
+        # stats.meta must not count as an entry nor be prunable.
+        assert cache.stats()["entries"] == 0
+        cache.prune(max_bytes=1)
+        assert cache.lifetime_stats()["misses"] == 1
+
+    def test_clear_wipes_sidecar(self, cache):
+        cache.get("absent")
+        cache.persist_stats()
+        cache.clear()
+        assert cache.lifetime_stats() == {"hits": 0, "misses": 0,
+                                          "puts": 0, "evictions": 0}
+
+    def test_corrupt_sidecar_reads_as_zero(self, cache):
+        cache.path.mkdir(parents=True, exist_ok=True)
+        (cache.path / resultcache.STATS_SIDECAR).write_text("{broken")
+        assert cache.lifetime_stats() == {"hits": 0, "misses": 0,
+                                          "puts": 0, "evictions": 0}
+        (cache.path / resultcache.STATS_SIDECAR).write_text(
+            json.dumps({"hits": -5, "misses": "many"}))
+        assert cache.lifetime_stats()["hits"] == 0

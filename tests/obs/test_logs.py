@@ -1,0 +1,56 @@
+"""The shared logging configuration (:mod:`repro.obs.logs`)."""
+
+import logging
+
+from repro.obs.logs import (
+    OUT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    output_logger,
+)
+
+
+class TestChannels:
+    def test_diagnostics_go_to_stderr(self, capsys):
+        configure_logging(verbosity=0)
+        get_logger("repro.test").warning("something odd")
+        captured = capsys.readouterr()
+        assert "something odd" in captured.err
+        assert "something odd" not in captured.out
+
+    def test_payload_goes_to_stdout_undecorated(self, capsys):
+        configure_logging(verbosity=0)
+        output_logger().info("%s", "table output")
+        captured = capsys.readouterr()
+        assert captured.out == "table output\n"
+        assert captured.err == ""
+
+    def test_quiet_silences_payload(self, capsys):
+        configure_logging(verbosity=-1)
+        output_logger().info("%s", "table output")
+        assert capsys.readouterr().out == ""
+        configure_logging(verbosity=0)  # restore for later tests
+
+    def test_verbose_enables_debug(self, capsys):
+        configure_logging(verbosity=1)
+        get_logger("repro.test").debug("detail")
+        assert "detail" in capsys.readouterr().err
+        configure_logging(verbosity=0)
+        get_logger("repro.test").debug("gone")
+        assert "gone" not in capsys.readouterr().err
+
+
+class TestConfiguration:
+    def test_idempotent_no_duplicate_handlers(self, capsys):
+        for _ in range(3):
+            configure_logging(verbosity=0)
+        output_logger().info("%s", "once")
+        assert capsys.readouterr().out == "once\n"
+
+    def test_foreign_names_rerooted(self):
+        assert get_logger("tools.check").name == "repro.tools.check"
+        assert get_logger("repro.eval").name == "repro.eval"
+        assert get_logger("repro").name == "repro"
+
+    def test_out_logger_does_not_propagate(self):
+        assert logging.getLogger(OUT_LOGGER_NAME).propagate is False

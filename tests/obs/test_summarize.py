@@ -1,0 +1,130 @@
+"""Offline trace attribution (:mod:`repro.obs.summarize`).
+
+Synthetic traces with known timings, so self-time arithmetic, coverage
+and unmatched-event accounting are asserted exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.summarize import (
+    load_trace_events,
+    render_summary,
+    summarize_trace,
+)
+
+
+def _event(name, ph, ts, pid=1, tid=1, cat="work"):
+    return {"name": name, "cat": cat, "ph": ph, "ts": ts,
+            "pid": pid, "tid": tid}
+
+
+def _write(tmp_path, events):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps({"traceEvents": events,
+                                "displayTimeUnit": "ms"}))
+    return path
+
+
+class TestPairing:
+    def test_self_time_excludes_children(self, tmp_path):
+        # outer [0, 100] contains inner [10, 40]: outer self = 70.
+        path = _write(tmp_path, [
+            _event("outer", "B", 0),
+            _event("inner", "B", 10),
+            _event("inner", "E", 40),
+            _event("outer", "E", 100),
+        ])
+        summary = summarize_trace(path)
+        rows = {(r["name"], r["cat"]): r for r in summary["top_spans"]}
+        assert rows[("outer", "work")]["total_us"] == 100
+        assert rows[("outer", "work")]["self_us"] == 70
+        assert rows[("inner", "work")]["self_us"] == 30
+        # Self time partitions the track: full coverage.
+        assert summary["wall_us"] == 100
+        assert summary["attributed_us"] == 100
+        assert summary["coverage"] == 1.0
+
+    def test_tracks_are_per_pid(self, tmp_path):
+        path = _write(tmp_path, [
+            _event("a", "B", 0, pid=1), _event("a", "E", 50, pid=1),
+            _event("b", "B", 0, pid=2), _event("b", "E", 30, pid=2),
+        ])
+        summary = summarize_trace(path)
+        assert set(summary["tracks"]) == {"1", "2"}
+        assert summary["wall_us"] == 80  # 50 + 30, summed per track
+
+    def test_same_name_different_cat_not_merged(self, tmp_path):
+        path = _write(tmp_path, [
+            _event("conv1", "B", 0, cat="synthesize"),
+            _event("conv1", "E", 10, cat="synthesize"),
+            _event("conv1", "B", 20, cat="simulate"),
+            _event("conv1", "E", 50, cat="simulate"),
+        ])
+        rows = summarize_trace(path)["top_spans"]
+        assert {(r["name"], r["cat"]) for r in rows} \
+            == {("conv1", "synthesize"), ("conv1", "simulate")}
+
+    def test_unmatched_events_counted_not_fatal(self, tmp_path):
+        path = _write(tmp_path, [
+            _event("orphan-end", "E", 5),
+            _event("ok", "B", 10), _event("ok", "E", 20),
+            _event("dangling-begin", "B", 30),
+        ])
+        summary = summarize_trace(path)
+        assert summary["spans"] == 1
+        assert summary["unmatched_events"] == 2
+
+    def test_per_category_attribution(self, tmp_path):
+        path = _write(tmp_path, [
+            _event("x", "B", 0, cat="synthesize"),
+            _event("x", "E", 40, cat="synthesize"),
+            _event("y", "B", 40, cat="simulate"),
+            _event("y", "E", 100, cat="simulate"),
+        ])
+        by_cat = summarize_trace(path)["by_category_self_us"]
+        assert by_cat == {"simulate": 60, "synthesize": 40}
+
+    def test_metadata_labels_tracks(self, tmp_path):
+        path = _write(tmp_path, [
+            {"name": "process_name", "cat": "__metadata", "ph": "M",
+             "ts": 0, "pid": 7, "tid": 1,
+             "args": {"name": "repro pool worker 7"}},
+            _event("a", "B", 0, pid=7), _event("a", "E", 10, pid=7),
+        ])
+        summary = summarize_trace(path)
+        assert summary["tracks"]["7"]["label"] == "repro pool worker 7"
+
+
+class TestLoading:
+    def test_bare_array_form(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps([_event("a", "B", 0),
+                                    _event("a", "E", 1)]))
+        assert len(load_trace_events(path)) == 2
+
+    def test_non_list_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": "nope"}))
+        with pytest.raises(ValueError, match="not a list"):
+            load_trace_events(path)
+
+
+class TestRender:
+    def test_render_mentions_coverage_and_top_spans(self, tmp_path):
+        path = _write(tmp_path, [
+            _event("outer", "B", 0), _event("outer", "E", 2_000_000),
+        ])
+        text = render_summary(summarize_trace(path))
+        assert "coverage : 100.0%" in text
+        assert "outer" in text
+        assert "2.00s" in text
+
+    def test_top_k_limits_rows(self, tmp_path):
+        events = []
+        for i in range(8):
+            events.append(_event(f"s{i}", "B", i * 10))
+            events.append(_event(f"s{i}", "E", i * 10 + 5))
+        path = _write(tmp_path, events)
+        assert len(summarize_trace(path, top=3)["top_spans"]) == 3

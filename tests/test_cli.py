@@ -271,3 +271,67 @@ class TestDSECommand:
               "--out", str(b)])
         with pytest.raises(SystemExit):
             main(["dse", "--merge", str(a), str(b)])
+
+
+class TestObservability:
+    """PR-8 flags: --trace/--metrics/-v/-q and the trace subcommand."""
+
+    def test_trace_flag_writes_valid_chrome_trace(self, tmp_path):
+        import json
+        trace = tmp_path / "fig1.json"
+        out = main(["experiment", "fig1", "--trace", str(trace)])
+        assert f"wrote trace to {trace}" in out
+        payload = json.loads(trace.read_text())
+        assert set(payload) == {"traceEvents", "displayTimeUnit",
+                                "otherData"}
+        assert any(e["ph"] == "B" for e in payload["traceEvents"])
+
+    def test_trace_env_var_equivalent(self, tmp_path, monkeypatch):
+        trace = tmp_path / "env.json"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        out = main(["experiment", "fig1"])
+        assert f"wrote trace to {trace}" in out
+        assert trace.exists()
+
+    @pytest.mark.functional
+    def test_trace_summarize_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        trace = tmp_path / "fig12.json"
+        main(["experiment", "fig12", "--functional", "--quick",
+              "--no-result-cache", "--trace", str(trace)])
+        out = main(["trace", "summarize", str(trace), "--top", "5"])
+        assert "coverage" in out
+        assert "unmatched" in out
+        assert "synthesize" in out or "simulate" in out
+
+    def test_trace_summarize_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "summarize", str(tmp_path / "nope.json")])
+
+    def test_trace_summarize_rejects_bad_top(self, tmp_path):
+        trace = tmp_path / "t.json"
+        trace.write_text('{"traceEvents": []}')
+        with pytest.raises(SystemExit):
+            main(["trace", "summarize", str(trace), "--top", "0"])
+
+    def test_metrics_flag_appends_table(self):
+        from repro.obs.metrics import reset_default_registry
+        reset_default_registry()
+        out = main(["experiment", "fig1", "--metrics"])
+        assert "metrics" in out
+
+    def test_metrics_out_writes_json(self, tmp_path):
+        import json
+        path = tmp_path / "metrics.json"
+        main(["experiment", "fig1", "--metrics-out", str(path)])
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.obs.metrics/v1"
+
+    def test_quiet_suppresses_stdout_keeps_return(self, capsys):
+        out = main(["experiment", "fig1", "-q"])
+        assert "Figure 1" in out      # payload still returned...
+        assert capsys.readouterr().out == ""  # ...but not printed
+
+    def test_default_verbosity_prints_payload(self, capsys):
+        out = main(["experiment", "fig1"])
+        assert out in capsys.readouterr().out

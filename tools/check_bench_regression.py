@@ -13,6 +13,9 @@ Throughput metric per benchmark, in order of preference:
 - ``extra_info.configs_per_s`` (the DSE benchmarks record design
   configurations evaluated per wall-clock second — higher is
   better), else
+- ``extra_info.spans_per_s`` (the observability-overhead benchmarks
+  record disabled-tracing span guards per second — higher is better),
+  else
 - ``1 / extra_info.wallclock_s`` (the experiment-wallclock benchmarks
   record end-to-end seconds per experiment run — lower is better, so
   the gate diffs the inverse), else
@@ -43,7 +46,19 @@ import pathlib
 import sys
 from typing import Dict, List, Optional, Tuple
 
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.logs import configure_logging, output_logger  # noqa: E402
+
 DEFAULT_THRESHOLD = 0.10
+
+
+def _say(message: str) -> None:
+    """Report through the shared stdout payload channel (``-q``-able
+    and uniformly configured with the rest of the repo's tooling)."""
+    output_logger().info("%s", message)
 
 
 class BenchFileError(RuntimeError):
@@ -119,8 +134,8 @@ def check_unreadable(readable: List[Tuple[pathlib.Path, dict]],
             f"baseline: {names}")
     for path in unreadable:
         age = "" if path in fresh else "stale "
-        print(f"warning: ignoring {age}unreadable benchmark file "
-              f"{path.name}")
+        _say(f"warning: ignoring {age}unreadable benchmark file "
+             f"{path.name}")
 
 
 def throughput_of(record: dict) -> Optional[Tuple[float, str]]:
@@ -132,6 +147,9 @@ def throughput_of(record: dict) -> Optional[Tuple[float, str]]:
     configs = extra.get("configs_per_s")
     if isinstance(configs, (int, float)) and configs > 0:
         return float(configs), "configs/s"
+    spans = extra.get("spans_per_s")
+    if isinstance(spans, (int, float)) and spans > 0:
+        return float(spans), "spans/s"
     wallclock = extra.get("wallclock_s")
     if isinstance(wallclock, (int, float)) and wallclock > 0:
         return 1.0 / float(wallclock), "runs/s (wall-clock)"
@@ -204,6 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "the newest promoted baseline (make bench "
                              "promotes it only if this check passes)")
     args = parser.parse_args(argv)
+    configure_logging()
     if not 0 < args.threshold < 1:
         parser.error("--threshold must be in (0, 1)")
 
@@ -211,64 +230,64 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         check_unreadable(files, unreadable, strict=args.candidate is None)
     except BenchFileError as exc:
-        print(f"error: {exc}")
+        _say(f"error: {exc}")
         return 2
     if args.candidate is not None:
         try:
             new_data = json.loads(args.candidate.read_text())
         except (json.JSONDecodeError, OSError) as exc:
-            print(f"error: unreadable candidate {args.candidate.name}: "
-                  f"{exc}")
+            _say(f"error: unreadable candidate {args.candidate.name}: "
+                 f"{exc}")
             return 2
         if not files:
             if unreadable:
                 # Baselines exist but none is readable: accepting the
                 # candidate unchecked could promote a regressed run as
                 # the new baseline — exactly what this gate prevents.
-                print("error: no readable promoted baseline (all "
-                      f"{len(unreadable)} BENCH file(s) are corrupt); "
-                      "repair or remove them before promoting "
-                      f"{args.candidate.name}")
+                _say("error: no readable promoted baseline (all "
+                     f"{len(unreadable)} BENCH file(s) are corrupt); "
+                     "repair or remove them before promoting "
+                     f"{args.candidate.name}")
                 return 2
             if not load_throughputs(new_data):
                 # An empty first baseline would wedge every later run
                 # on the compared-nothing check.
-                print(f"error: candidate {args.candidate.name} has no "
-                      "usable benchmark records; refusing to promote "
-                      "it as the first baseline")
+                _say(f"error: candidate {args.candidate.name} has no "
+                     "usable benchmark records; refusing to promote "
+                     "it as the first baseline")
                 return 2
-            print(f"no promoted baseline under {args.dir}; accepting "
-                  f"{args.candidate.name} as the first one")
+            _say(f"no promoted baseline under {args.dir}; accepting "
+                 f"{args.candidate.name} as the first one")
             return 0
         old_path, old_data = files[-1]
         new_path = args.candidate
     else:
         if len(files) < 2:
-            print(f"need two BENCH_*.json files under {args.dir} to "
-                  f"compare; found {len(files)} — nothing to check")
+            _say(f"need two BENCH_*.json files under {args.dir} to "
+                 f"compare; found {len(files)} — nothing to check")
             return 0
         (old_path, old_data), (new_path, new_data) = files[-2], files[-1]
     old = load_throughputs(old_data)
     new = load_throughputs(new_data)
-    print(f"comparing {old_path.name} (old) vs {new_path.name} (new), "
-          f"threshold {args.threshold * 100:.0f}%")
+    _say(f"comparing {old_path.name} (old) vs {new_path.name} (new), "
+         f"threshold {args.threshold * 100:.0f}%")
     lines, regressions, compared = compare(old, new, args.threshold)
-    print("\n".join(lines))
+    _say("\n".join(lines))
     if compared == 0:
         # Two artifacts but nothing comparable (empty/filtered newest
         # run, schema drift): a green exit here would mean the gate
         # checked nothing while looking like it passed.
-        print("\nerror: no comparable benchmarks between "
-              f"{old_path.name} and {new_path.name} — the gate "
-              "compared nothing")
+        _say("\nerror: no comparable benchmarks between "
+             f"{old_path.name} and {new_path.name} — the gate "
+             "compared nothing")
         return 2
     if regressions:
-        print(f"\n{len(regressions)} throughput regression(s) beyond "
-              f"{args.threshold * 100:.0f}%:")
+        _say(f"\n{len(regressions)} throughput regression(s) beyond "
+             f"{args.threshold * 100:.0f}%:")
         for line in regressions:
-            print(f"  {line}")
+            _say(f"  {line}")
         return 1
-    print("\nno throughput regressions")
+    _say("\nno throughput regressions")
     return 0
 
 
