@@ -21,6 +21,13 @@
 #                   so nightly also gates the DSE engine's
 #                   configs-evaluated-per-second rate.
 #   make check    - just the regression diff of existing BENCH files.
+#   make serve-smoke - end-to-end self-test of the simulation service
+#                   (repro serve --smoke): boots the HTTP service on an
+#                   ephemeral port and a throwaway queue DB, submits a
+#                   job + a duplicate + a distinct one, and asserts
+#                   dedupe, bit-equal results and metric reconciliation.
+#                   Nightly runs it; bench_serve_throughput.py in the
+#                   bench sweep gates the queue's jobs/s rate.
 #   make dse      - full-keyspace adaptive design-space exploration
 #                   (repro dse); writes the artifact (evaluations +
 #                   Pareto frontier + refinement rounds) to
@@ -54,7 +61,8 @@ PY         := PYTHONPATH=src python
 STAMP      := $(shell date -u +%Y%m%dT%H%M%SZ)
 BENCH_JSON := BENCH_$(STAMP).json
 
-.PHONY: verify nightly bench check dse fig-functional cache-clear trace
+.PHONY: verify nightly bench check dse fig-functional cache-clear trace \
+	serve-smoke
 
 verify:
 	$(PY) -m pytest -x -q
@@ -66,8 +74,12 @@ verify:
 nightly:
 	REPRO_JOBS=0 $(PY) -m pytest -q -m slow
 	$(PY) -m repro experiment xval --jobs 0
+	$(MAKE) serve-smoke
 	$(MAKE) trace
 	$(MAKE) bench
+
+serve-smoke:
+	$(PY) -m repro serve --smoke
 
 # Quick-mode so the traced run stays seconds even on a loaded nightly
 # box; --no-result-cache so the trace always covers real simulation

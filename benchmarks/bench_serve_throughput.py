@@ -1,0 +1,74 @@
+"""Service throughput tracking (queue jobs completed per second).
+
+Not a paper artifact — this benchmark freezes the sustained rate at
+which ``repro serve`` moves jobs from HTTP admission through the
+persistent SQLite queue, the scheduler and the experiment engine to a
+stored result document, under the two regimes an interactive deployment
+lives in:
+
+- **cold** (empty result cache) — every job fingerprints, queues,
+  claims and actually evaluates; the rate is bounded by the queue and
+  scheduler overhead wrapped around the (sub-millisecond, analytic)
+  evaluation, so a regression here means the service plumbing itself —
+  admission, WAL commits, claim UPDATEs, batching — got slower;
+- **warm** (result cache primed with identical payloads) — the
+  re-submission regime; evaluation is a cache lookup, so this isolates
+  the pure queue round-trip cost even harder.
+
+Both regimes record ``extra_info.jobs_per_s``;
+``tools/check_bench_regression.py`` prefers that metric for these
+records, so the nightly gate fails on a >10% throughput drop. The
+analytic tier keeps each job's engine work negligible by design —
+benchmarking functional simulation wall-clock is
+``bench_experiment_wallclock.py``'s job, not this file's.
+"""
+
+import time
+
+from repro.eval.resultcache import ResultCache
+from repro.serve.api import ServeService, submit_job
+from repro.serve.jobs import run_requests, parse_request
+
+#: Enough queue round-trips for a stable rate; analytic lenet5 keeps
+#: per-job engine time negligible next to the plumbing being measured.
+N_JOBS = 24
+
+REQUESTS = [{"model": "lenet5", "accelerator": "s2ta-aw",
+             "tier": "analytic", "seed": seed}
+            for seed in range(N_JOBS)]
+
+
+def _timed_service(benchmark, scenario, tmp_path, result_cache):
+    wallclock = {}
+
+    def body():
+        with ServeService(tmp_path / f"{scenario}.sqlite3", port=0,
+                          workers=1, jobs=1,
+                          result_cache=result_cache) as service:
+            start = time.perf_counter()
+            for request in REQUESTS:
+                submit_job(service.base_url, request)
+            service.wait_idle(timeout_s=300)
+            wallclock["s"] = time.perf_counter() - start
+            counts = service.store.counts()
+        return counts
+
+    counts = benchmark.pedantic(body, rounds=1, iterations=1)
+    assert counts["done"] == N_JOBS, f"jobs did not all finish: {counts}"
+    benchmark.extra_info["scenario"] = scenario
+    benchmark.extra_info["jobs_completed"] = N_JOBS
+    benchmark.extra_info["wallclock_s"] = round(wallclock["s"], 4)
+    benchmark.extra_info["jobs_per_s"] = round(
+        N_JOBS / wallclock["s"], 2)
+
+
+def test_bench_serve_jobs_cold(benchmark, tmp_path):
+    _timed_service(benchmark, "cold", tmp_path,
+                   result_cache=ResultCache(tmp_path / "results"))
+
+
+def test_bench_serve_jobs_warm(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "results")
+    run_requests([parse_request(r) for r in REQUESTS], jobs=1,
+                 result_cache=cache)  # prime (untimed)
+    _timed_service(benchmark, "warm", tmp_path, result_cache=cache)

@@ -9,6 +9,10 @@ Usage::
     python -m repro sweep --top 10
     python -m repro dse --shard 0/4 --out shard0.json
     python -m repro dse --merge shard0.json shard1.json ...
+    python -m repro serve --port 8737
+    python -m repro submit alexnet --accelerator s2ta-aw --quick --wait
+    python -m repro jobs
+    python -m repro warm --models alexnet --accelerators s2ta-aw,sparten
 
 Every command prints plain text; ``experiment`` accepts any artifact id
 from DESIGN.md's index (fig1, fig3, fig9a..fig9d, fig10, fig11, fig12,
@@ -51,6 +55,20 @@ adaptively refined around the (energy x cycles x area) Pareto frontier.
 ``--shard I/N`` + ``--out`` freeze one deterministic slice per host;
 ``--merge`` unions the shard artifacts and completes the refinement,
 reproducing the unsharded artifact exactly.
+
+Simulation as a service (:mod:`repro.serve`, see docs/serve.md):
+``repro serve`` runs the long-lived front-end — a persistent SQLite
+job queue ($REPRO_SERVE_DB, default ``~/.cache/repro/jobs.sqlite3``)
+with crash recovery on startup, a priority scheduler that dedupes
+identical requests through the result-cache fingerprints, ranks by
+expected runtime and batches per-tier into single engine fan-outs, and
+a stdlib HTTP/JSON API (``POST /jobs``, ``GET /jobs[/<id>]``,
+``GET /metrics``, ``GET /healthz``). ``repro submit`` and ``repro
+jobs`` are the HTTP clients; ``repro warm`` pre-populates the result
+cache for a named (model, accelerator) list without a server. The
+serve-side ``--jobs`` defaults to ``auto`` — serial vs pool picked per
+batch from the miss count and the host's cores, so small-host runs
+never pay pool startup for a handful of tasks.
 
 Observability (:mod:`repro.obs`, see docs/observability.md) is wired
 through every command and off by default: ``experiment`` and ``dse``
@@ -454,6 +472,205 @@ def cmd_cache(args) -> str:
             f"{stats['entries']:,} remain ({stats['bytes']:,} bytes)")
 
 
+def _parse_jobs_arg(text):
+    """Serve-side ``--jobs``: ``auto`` (the default) or an int
+    (``0`` = one per core), mirroring the engine's resolver."""
+    value = text.strip().lower()
+    if value == "auto":
+        return "auto"
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise SystemExit(
+            f"--jobs must be an integer (0 = one per core) or 'auto', "
+            f"got {text!r}") from None
+    if jobs < 0:
+        raise SystemExit("--jobs must be >= 0 (0 = one worker per core)")
+    return jobs
+
+
+def _serve_base_url(args) -> str:
+    return f"http://{args.host}:{args.port}"
+
+
+def cmd_serve(args) -> str:
+    """Run the simulation service (or its smoke self-test)."""
+    import tempfile
+    import time as _time
+
+    from repro.serve import ServeService, default_db_path, run_smoke
+
+    jobs = _parse_jobs_arg(args.jobs)
+    result_cache = None if args.no_result_cache else _default_result_cache()
+    if args.smoke:
+        # Self-test on a throwaway DB unless one was named explicitly —
+        # the smoke run must never mingle with a production queue.
+        db = args.db or os.path.join(
+            tempfile.mkdtemp(prefix="repro-serve-smoke-"), "jobs.sqlite3")
+        try:
+            return run_smoke(db, result_cache=result_cache)
+        except (RuntimeError, TimeoutError) as exc:
+            raise SystemExit(f"serve smoke FAILED: {exc}") from None
+    db = args.db if args.db is not None else default_db_path()
+    service = ServeService(
+        db, host=args.host, port=args.port, workers=args.workers,
+        jobs=jobs, result_cache=result_cache,
+        batch_limit=args.batch_limit, poll_s=args.poll_s,
+        max_pending=args.max_pending)
+    requeued, crash_failed = service.recovered
+    service.start()
+    out = obs_logs.output_logger()
+    out.info("serving on %s (db=%s, workers=%d, jobs=%s)",
+             service.base_url, service.db_path, service.workers, jobs)
+    if requeued or crash_failed:
+        out.info("recovery: re-queued %d job(s), failed %d out of "
+                 "attempts", len(requeued), len(crash_failed))
+    try:
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return "serve: shut down"
+
+
+def cmd_submit(args) -> str:
+    """Submit one job to a running service over HTTP."""
+    from repro.serve import submit_job, wait_for_job
+
+    request = {
+        "model": args.model,
+        "accelerator": args.accelerator,
+        "tier": args.tier,
+        "conv_only": not args.all_layers,
+        "quick": args.quick,
+        "seed": args.seed,
+        "priority": args.priority,
+    }
+    if args.tech is not None:
+        request["tech"] = args.tech
+    base = _serve_base_url(args)
+    try:
+        admitted = submit_job(base, request)
+    except (RuntimeError, OSError) as exc:
+        raise SystemExit(f"submit to {base} failed: {exc}") from None
+    verb = "deduped onto job" if admitted["deduped"] else "queued as job"
+    lines = [f"{verb} {admitted['id']} (state {admitted['state']})"]
+    if args.wait:
+        try:
+            job = wait_for_job(base, admitted["id"],
+                               timeout_s=args.timeout)
+        except (RuntimeError, TimeoutError, OSError) as exc:
+            raise SystemExit(str(exc)) from None
+        if job["state"] != "done":
+            raise SystemExit(
+                f"job {job['id']} failed: {job.get('error')}")
+        result = job["result"]
+        lines += [
+            f"{result['model']} on {result['accelerator']} "
+            f"({result['tech']}):",
+            f"  cycles : {result['total_cycles']:,}",
+            f"  energy : {result['energy_uj']:,.1f} uJ",
+            f"  layers : {len(result['layers'])}",
+        ]
+    return "\n".join(lines)
+
+
+def cmd_jobs(args) -> str:
+    """List queue contents — over HTTP, or straight off a DB file
+    (``--db``; works while no server is up, e.g. post-crash triage)."""
+    if args.db is not None:
+        from repro.serve import JobStore
+
+        with JobStore(args.db) as store:
+            try:
+                jobs = [job.to_dict() for job in
+                        store.list_jobs(state=args.state,
+                                        limit=args.limit)]
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+            counts = store.counts()
+    else:
+        from repro.serve import http_json
+
+        base = _serve_base_url(args)
+        query = f"limit={args.limit}"
+        if args.state:
+            query += f"&state={args.state}"
+        try:
+            status, body = http_json("GET", f"{base}/jobs?{query}")
+            _, health = http_json("GET", f"{base}/healthz")
+        except OSError as exc:
+            raise SystemExit(f"cannot reach {base}: {exc}") from None
+        if status != 200:
+            raise SystemExit(f"jobs listing failed ({status}): "
+                             f"{body.get('error', body)}")
+        jobs = body["jobs"]
+        counts = health["counts"]
+    lines = [("queue: "
+              + "  ".join(f"{state}={counts[state]}"
+                          for state in ("pending", "running", "done",
+                                        "failed")))]
+    if jobs:
+        lines.append(f"  {'id':>5} {'state':<8} {'prio':>4} {'att':>3} "
+                     f"{'model':<14} {'accel':<10} {'tier':<10}")
+    for job in jobs:
+        req = job["request"]
+        lines.append(
+            f"  {job['id']:>5} {job['state']:<8} {job['priority']:>4} "
+            f"{job['attempts']:>3} {req.get('model', '?'):<14} "
+            f"{req.get('accelerator', '?'):<10} "
+            f"{req.get('tier', '?'):<10}")
+    return "\n".join(lines)
+
+
+def cmd_warm(args) -> str:
+    """Pre-populate the result cache for (model, accelerator) pairs."""
+    import time as _time
+
+    from repro.serve import parse_request, run_requests
+
+    cache = _default_result_cache()
+    if cache is None:
+        raise SystemExit(
+            "warm needs the result cache; unset REPRO_RESULT_CACHE=0")
+    jobs = _parse_jobs_arg(args.jobs)
+    models = [t.strip() for t in args.models.split(",") if t.strip()]
+    accels = [t.strip() for t in args.accelerators.split(",")
+              if t.strip()]
+    if not models or not accels:
+        raise SystemExit("warm needs at least one model and one "
+                         "accelerator")
+    requests = []
+    for model in models:
+        for accel in accels:
+            data = {"model": model, "accelerator": accel,
+                    "tier": args.tier, "quick": args.quick,
+                    "seed": args.seed}
+            try:
+                requests.append(parse_request(data))
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+    before = cache.stats()
+    start = _time.perf_counter()
+    results = run_requests(requests, jobs=jobs, result_cache=cache)
+    elapsed = _time.perf_counter() - start
+    after = cache.stats()
+    lines = []
+    for request, result in zip(requests, results):
+        lines.append(f"  {result['model']:<14} {result['accelerator']:<10} "
+                     f"{result['total_cycles']:>14,} cycles "
+                     f"{result['energy_uj']:>12,.1f} uJ")
+    payloads = sum(len(r["layers"]) for r in results)
+    lines.append(
+        f"warmed {len(requests)} request(s) / {payloads} layer "
+        f"payload(s) in {elapsed:.2f} s — cache +{after['puts'] - before['puts']} "
+        f"put(s), +{after['hits'] - before['hits']} hit(s), "
+        f"{after['entries']:,} entries ({after['bytes']:,} bytes)")
+    return "\n".join(lines)
+
+
 def cmd_trace(args) -> str:
     """Analyze a merged Chrome-trace artifact offline."""
     from repro.obs.summarize import render_summary, summarize_trace
@@ -649,6 +866,138 @@ def build_parser() -> argparse.ArgumentParser:
                             "evicted first; default 256)")
     _add_verbosity_flags(cache)
     cache.set_defaults(func=cmd_cache)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service (HTTP API + job queue)",
+        description="Long-running simulation-as-a-service front-end "
+                    "over the parallel memoized engine: a persistent "
+                    "SQLite job queue with crash recovery on startup, "
+                    "a priority scheduler (request dedupe through the "
+                    "result-cache fingerprints, expected-runtime "
+                    "ranking, per-tier batching into single engine "
+                    "fan-outs) and a JSON API: POST /jobs, "
+                    "GET /jobs[/<id>], GET /metrics, GET /healthz. "
+                    "See docs/serve.md.")
+    serve.add_argument("--db", default=None, metavar="PATH",
+                       help="SQLite job-store path (default: "
+                            "$REPRO_SERVE_DB or "
+                            "~/.cache/repro/jobs.sqlite3)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="listen port; 0 = ephemeral (default 8737)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="scheduler threads draining the queue; 0 = "
+                            "admission-only (jobs queue but nothing "
+                            "executes — e.g. external worker processes "
+                            "share the DB) (default 1)")
+    serve.add_argument("--jobs", default="auto", metavar="N|auto",
+                       help="engine worker processes per batch; 'auto' "
+                            "(default) picks serial vs pool from the "
+                            "batch's miss count and the host's cores; "
+                            "0 = one per core")
+    serve.add_argument("--batch-limit", type=int, default=16,
+                       metavar="N",
+                       help="max jobs claimed per scheduler pass "
+                            "(default 16)")
+    serve.add_argument("--poll-s", type=float, default=0.1,
+                       metavar="S",
+                       help="idle-queue poll interval (default 0.1)")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       metavar="N",
+                       help="admission control: reject submissions "
+                            "(HTTP 503) while the pending backlog is "
+                            "at N (default: unbounded)")
+    serve.add_argument("--no-result-cache", action="store_true",
+                       help="serve without the on-disk result cache "
+                            "(every job re-simulates)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="boot on an ephemeral port + throwaway DB, "
+                            "run the end-to-end dedupe/metrics "
+                            "self-test, exit non-zero on failure")
+    _add_verbosity_flags(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a simulation job to a running service",
+        description="POST one (model, accelerator) request to a repro "
+                    "serve instance. Identical requests dedupe onto "
+                    "the existing job (same id, one simulation).")
+    submit.add_argument("model", choices=sorted(MODEL_SPECS))
+    submit.add_argument("--accelerator", default="s2ta-aw",
+                        choices=sorted(ACCELERATORS))
+    submit.add_argument("--tech", default=None,
+                        help="technology node (default: the "
+                             "accelerator's own)")
+    submit.add_argument("--tier", default="functional",
+                        choices=("functional", "analytic"),
+                        help="fidelity tier (default functional)")
+    submit.add_argument("--all-layers", action="store_true",
+                        help="simulate every layer (default: conv "
+                             "layers only, like fig11/fig12)")
+    submit.add_argument("--quick", action="store_true",
+                        help="subsample output rows like the "
+                             "experiment --quick mode")
+    submit.add_argument("--seed", type=int, default=0,
+                        help="operand-synthesis seed (functional tier)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority; higher runs first "
+                             "(default 0)")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8737)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print "
+                             "its result summary")
+    submit.add_argument("--timeout", type=float, default=600,
+                        metavar="S",
+                        help="--wait deadline in seconds (default 600)")
+    _add_verbosity_flags(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="list the service's job queue",
+        description="Queue state summary plus the most recent jobs — "
+                    "over HTTP from a running service, or directly "
+                    "off the SQLite file with --db (works with no "
+                    "server up, e.g. post-crash triage).")
+    jobs.add_argument("--state", default=None,
+                      choices=("pending", "running", "done", "failed"),
+                      help="only jobs in this state")
+    jobs.add_argument("--limit", type=int, default=20,
+                      help="rows to show, newest first (default 20)")
+    jobs.add_argument("--host", default="127.0.0.1")
+    jobs.add_argument("--port", type=int, default=8737)
+    jobs.add_argument("--db", default=None, metavar="PATH",
+                      help="read the job store file directly instead "
+                           "of over HTTP")
+    _add_verbosity_flags(jobs)
+    jobs.set_defaults(func=cmd_jobs)
+
+    warm = sub.add_parser(
+        "warm",
+        help="pre-populate the result cache for popular pairs",
+        description="Run every (model, accelerator) pair through the "
+                    "engine with the on-disk result cache attached, so "
+                    "subsequent service jobs (and experiments) for "
+                    "those pairs skip straight to finalization.")
+    warm.add_argument("--models", required=True, metavar="A,B,...",
+                      help="comma list of model specs to warm")
+    warm.add_argument("--accelerators", required=True,
+                      metavar="X,Y,...",
+                      help="comma list of accelerator keys to warm")
+    warm.add_argument("--tier", default="functional",
+                      choices=("functional", "analytic"))
+    warm.add_argument("--quick", action="store_true",
+                      help="warm the quick-mode (subsampled) payloads "
+                           "instead of full-size")
+    warm.add_argument("--seed", type=int, default=0)
+    warm.add_argument("--jobs", default="auto", metavar="N|auto",
+                      help="engine worker processes; 'auto' (default) "
+                           "adapts to the miss count, 0 = one per core")
+    _add_verbosity_flags(warm)
+    warm.set_defaults(func=cmd_warm)
 
     trace = sub.add_parser(
         "trace",

@@ -48,8 +48,8 @@ from typing import Dict, Optional, Tuple
 from repro.arch.events import EventCounts
 from repro.obs import metrics as obs_metrics
 
-__all__ = ["CODE_VERSION", "ResultCache", "default_result_cache",
-           "payload_key"]
+__all__ = ["CODE_VERSION", "ResultCache", "combine_keys",
+           "default_result_cache", "payload_key"]
 
 #: Lifetime-stats sidecar filename. Deliberately *not* ``*.json`` so
 #: the entry glob (and byte accounting / eviction) never sees it.
@@ -131,6 +131,31 @@ def payload_key(accel, layer, seed: int = 0, max_m: Optional[int] = None,
     blob = json.dumps(fingerprint, sort_keys=True,
                       separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def combine_keys(keys, extra=None) -> str:
+    """Order-sensitive content hash over per-layer payload keys.
+
+    The request-level fingerprint of the serve subsystem
+    (:mod:`repro.serve`): a whole-job identity is the ordered sequence
+    of its layer-task fingerprints (each already covering layer spec,
+    accelerator/memory/energy config, seed, quick cap, tier and the
+    :data:`CODE_VERSION` salt) plus any ``extra`` request-level context
+    (model name, conv-only flag) canonicalized the same way the
+    payload keys are. Two requests share a fingerprint iff every
+    simulation *and* finalization input matches — which is exactly when
+    the scheduler may serve one simulation to both.
+    """
+    digest = hashlib.sha256()
+    if extra is not None:
+        blob = json.dumps(_canonical(extra), sort_keys=True,
+                          separators=(",", ":"))
+        digest.update(blob.encode())
+        digest.update(b"\x00")
+    for key in keys:
+        digest.update(key.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 class ResultCache:

@@ -54,6 +54,7 @@ from repro.obs import trace as obs_trace
 
 __all__ = [
     "LayerSimTask",
+    "auto_jobs",
     "resolve_jobs",
     "simulate_layer_tasks",
     "functional_model_runs",
@@ -90,20 +91,65 @@ class LayerSimTask:
         return "analytic" if self.analytic else "functional"
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
+#: Below this many tasks a pool's startup/pickling overhead dominates
+#: the simulation work, so ``auto`` stays serial (the BENCH small-host
+#: inversion: quick fig12 parallel-cold 1.22 s vs 0.64 s serial).
+AUTO_MIN_TASKS = 4
+
+#: ``auto`` never spins up a worker for fewer than this many tasks —
+#: each worker must amortize its fork + operand-cache warmup over at
+#: least a couple of simulations.
+AUTO_TASKS_PER_WORKER = 2
+
+
+def auto_jobs(task_count: int, cpu_count: Optional[int] = None) -> int:
+    """Serial-vs-pool decision for one batch of ``task_count`` tasks.
+
+    The decision table (regression-pinned in
+    ``tests/eval/test_runner.py``):
+
+    - single-core host -> 1 (a pool can only add overhead);
+    - fewer than :data:`AUTO_MIN_TASKS` tasks -> 1 (startup dominates);
+    - otherwise ``min(cpu_count, task_count // AUTO_TASKS_PER_WORKER)``
+      workers, so every worker amortizes its fork over >= 2 tasks and
+      the pool never exceeds the host.
+    """
+    if task_count < 0:
+        raise ValueError(f"task_count must be >= 0, got {task_count}")
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    if cpu_count <= 1 or task_count < AUTO_MIN_TASKS:
+        return 1
+    return max(1, min(cpu_count, task_count // AUTO_TASKS_PER_WORKER))
+
+
+def resolve_jobs(jobs, task_count: Optional[int] = None) -> int:
     """Worker count: ``None`` defers to ``$REPRO_JOBS`` (default 1,
-    i.e. serial); ``0`` means one worker per core."""
+    i.e. serial); ``0`` means one worker per core; ``"auto"`` (also
+    accepted from ``$REPRO_JOBS``) picks serial vs pool from
+    ``task_count`` and the host's cores via :func:`auto_jobs`.
+    ``task_count=None`` with ``auto`` sizes for a large batch (one
+    worker per core) — batch-level callers pass the real count."""
+    source = "jobs"
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
         if env:
-            try:
-                jobs = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"REPRO_JOBS must be an integer worker count "
-                    f"(0 = one per core), got {env!r}") from None
+            jobs = env
+            source = "REPRO_JOBS"
         else:
             jobs = 1
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            if task_count is None:
+                return os.cpu_count() or 1
+            return auto_jobs(task_count)
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(
+                f"{source} must be an integer worker count (0 = one "
+                f"per core) or 'auto', got {jobs!r}") from None
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     if jobs == 0:
@@ -215,7 +261,7 @@ def _pool_context():
 
 def simulate_layer_tasks(
     tasks: Sequence[LayerSimTask],
-    jobs: Optional[int] = None,
+    jobs=None,
     result_cache: Optional[ResultCache] = None,
     operand_cache=None,
 ) -> List[Tuple[int, EventCounts]]:
@@ -224,16 +270,17 @@ def simulate_layer_tasks(
     Cache hits (and in-batch duplicates — the same key appearing twice
     in ``tasks``) never dispatch to the pool; misses fan out over
     ``jobs`` workers (serial when 1 or when only one miss remains) and
-    are frozen into ``result_cache`` as they complete. Task fingerprints
-    are computed whether or not a cache is attached, so in-batch
-    duplicates collapse to one simulation even under
-    ``--no-result-cache``. ``operand_cache`` overrides the
-    process-default operand memo on the *serial* path only — worker
-    processes always use their own process-local caches.
+    are frozen into ``result_cache`` as they complete. ``jobs="auto"``
+    resolves per batch from the number of *misses* (cache hits never
+    need a pool) via :func:`auto_jobs`. Task fingerprints are computed
+    whether or not a cache is attached, so in-batch duplicates collapse
+    to one simulation even under ``--no-result-cache``.
+    ``operand_cache`` overrides the process-default operand memo on the
+    *serial* path only — worker processes always use their own
+    process-local caches.
     """
     from repro.eval.resultcache import payload_key
 
-    jobs = resolve_jobs(jobs)
     registry = obs_metrics.default_registry()
     registry.counter("runner.tasks").inc(len(tasks))
     results: Dict[int, Tuple[int, EventCounts]] = {}
@@ -258,6 +305,9 @@ def simulate_layer_tasks(
 
     registry.counter("runner.deduped").inc(len(dup_of))
     registry.counter("runner.simulated").inc(len(pending))
+    # Resolved against the post-dedupe/post-cache miss count: a batch
+    # that is mostly cache hits must not pay pool startup for the tail.
+    jobs = resolve_jobs(jobs, task_count=len(pending))
     if pending:
         if jobs > 1 and len(pending) > 1:
             from repro.workloads.from_spec import default_operand_cache
@@ -329,7 +379,7 @@ def functional_model_runs(
     conv_only: bool = False,
     seed: int = 0,
     max_m: Optional[int] = None,
-    jobs: Optional[int] = None,
+    jobs=None,
     result_cache: Optional[ResultCache] = None,
     operand_cache=None,
 ) -> List[AccelRunResult]:

@@ -7,13 +7,25 @@ next to artifacts (``--metrics-out``). Everything is plain dicts of
 numbers so the dump round-trips through ``json`` with no custom
 encoders; the field layout is pinned in ``tests/obs/test_metrics.py``.
 
-Counters only go up (``inc``); gauges hold the last ``set`` value;
-histograms keep count/sum/min/max plus fixed buckets so per-worker
-load-balance and queue-wait distributions survive aggregation without
-storing every observation. Worker processes never touch this module's
-registry directly — they return raw numbers with their task payloads
-and the parent folds them in (see ``eval/runner.py``), which is what
-fixes the lost-stats gap called out in the ROADMAP.
+Counters only go up (``inc``); gauges hold the last ``set`` value and
+take ``inc``/``dec`` deltas for level-style quantities; histograms keep
+count/sum/min/max plus fixed buckets so per-worker load-balance and
+queue-wait distributions survive aggregation without storing every
+observation. Worker processes never touch this module's registry
+directly — they return raw numbers with their task payloads and the
+parent folds them in (see ``eval/runner.py``), which is what fixes the
+lost-stats gap called out in the ROADMAP.
+
+The serve subsystem (:mod:`repro.serve`) registers the service-level
+family under the ``serve.`` prefix — ``serve.jobs_submitted`` /
+``serve.jobs_completed`` / ``serve.jobs_failed`` /
+``serve.jobs_requeued`` counters, ``serve.dedupe_hits`` (submit-time
+*and* in-batch request dedupe), ``serve.batches``,
+``serve.queue_depth`` / ``serve.jobs_running`` gauges and the
+``serve.job_wall_ns`` latency histogram — next to the existing
+``runner.`` / ``operand_cache.`` / ``result_cache.`` families, so one
+``GET /metrics`` snapshot reconciles service work against engine work
+(asserted in ``tests/serve/test_service.py``).
 """
 
 from __future__ import annotations
@@ -60,7 +72,9 @@ class Counter:
 
 
 class Gauge:
-    """Last-value gauge."""
+    """Last-value gauge. ``inc``/``dec`` adjust the held value by a
+    delta — what level-style gauges (queue depth, in-flight jobs) need
+    when no single site knows the absolute value."""
 
     __slots__ = ("name", "value")
 
@@ -70,6 +84,12 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self.value = value
+
+    def inc(self, delta: float = 1.0) -> None:
+        self.value += delta
+
+    def dec(self, delta: float = 1.0) -> None:
+        self.value -= delta
 
     def as_dict(self):
         return {"type": "gauge", "value": self.value}
@@ -181,11 +201,16 @@ class MetricsRegistry:
             full = f"{prefix}{name}" if prefix else name
             self.counter(full).inc(int(value))
 
+    def json_payload(self) -> dict:
+        """The schema-stamped JSON document ``dump_json`` writes —
+        also what the serve API's ``GET /metrics`` returns, so offline
+        dumps and the live endpoint share one pinned shape."""
+        return {"schema": "repro.obs.metrics/v1",
+                "metrics": self.as_dict()}
+
     def dump_json(self, path) -> None:
-        payload = {"schema": "repro.obs.metrics/v1",
-                   "metrics": self.as_dict()}
         with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
+            json.dump(self.json_payload(), fh, indent=2, sort_keys=True)
             fh.write("\n")
 
     def render(self) -> str:

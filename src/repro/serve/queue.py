@@ -1,0 +1,371 @@
+"""Persistent SQLite-backed job store for the simulation service.
+
+One table, four states::
+
+    pending --claim--> running --complete--> done
+                          |   \\--fail-----> failed
+                          \\--(crash)--> recover() --> pending or failed
+
+Design constraints (each asserted in ``tests/serve/test_queue.py``):
+
+- **Durability** — the store is a plain SQLite database in WAL mode:
+  every submit/claim/complete commits before returning, so the journal
+  survives a SIGKILL of any process mid-write and reopens consistent
+  (``PRAGMA integrity_check`` stays ``ok``; at most the single
+  uncommitted statement is lost).
+- **Atomic claim** — :meth:`JobStore.claim` marks its victims with a
+  single ``UPDATE`` (unique claim token, ``state='pending'`` guard in
+  the WHERE clause), so two workers — threads *or* processes — can
+  never claim the same job; the claimed rows are then read back by
+  token outside any transaction.
+- **Crash recovery** — a worker that dies mid-job leaves its jobs
+  ``running`` with a stale owner. :meth:`JobStore.recover` (run on
+  every service startup) re-queues them — once: ``attempts`` is
+  incremented at claim time, so a job whose attempts already reached
+  ``max_attempts`` moves to ``failed`` instead of crash-looping the
+  scheduler forever.
+- **Admission dedupe** — :meth:`JobStore.submit` with a fingerprint of
+  an existing live (pending/running) or done job returns that job's id
+  with ``deduped=True`` instead of inserting, inside one immediate
+  transaction so concurrent duplicate submissions collapse to a single
+  row. Failed jobs never absorb new submissions — resubmitting a
+  failed request is the retry path.
+
+The store object is thread-safe (one connection, one lock); separate
+processes open their own :class:`JobStore` on the same path and
+coordinate through SQLite's own locking (``busy_timeout`` 30 s).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Job", "JobStore", "STATES", "default_db_path"]
+
+#: Job lifecycle states (the ``state`` column's whole domain).
+STATES = ("pending", "running", "done", "failed")
+
+#: Default claim budget: a job is attempted at most twice (one crash
+#: re-queue) before recovery marks it failed.
+DEFAULT_MAX_ATTEMPTS = 2
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    fingerprint  TEXT    NOT NULL,
+    request      TEXT    NOT NULL,
+    priority     INTEGER NOT NULL DEFAULT 0,
+    state        TEXT    NOT NULL DEFAULT 'pending'
+                 CHECK (state IN ('pending','running','done','failed')),
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 2,
+    owner        TEXT,
+    claim_token  TEXT,
+    result       TEXT,
+    error        TEXT,
+    created_s    REAL    NOT NULL,
+    started_s    REAL,
+    finished_s   REAL
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state
+    ON jobs (state, priority DESC, id ASC);
+CREATE INDEX IF NOT EXISTS jobs_by_fingerprint
+    ON jobs (fingerprint, state);
+"""
+
+
+@dataclasses.dataclass(frozen=True)
+class Job:
+    """One row of the job table, request/result JSON already parsed."""
+
+    id: int
+    fingerprint: str
+    request: Dict
+    priority: int
+    state: str
+    attempts: int
+    max_attempts: int
+    owner: Optional[str]
+    result: Optional[Dict]
+    error: Optional[str]
+    created_s: float
+    started_s: Optional[float]
+    finished_s: Optional[float]
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+
+def default_db_path() -> str:
+    """``$REPRO_SERVE_DB`` or the user-level default location."""
+    env = os.environ.get("REPRO_SERVE_DB")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro",
+                        "jobs.sqlite3")
+
+
+def _row_to_job(row: sqlite3.Row) -> Job:
+    def _loads(text):
+        return None if text is None else json.loads(text)
+
+    return Job(
+        id=row["id"],
+        fingerprint=row["fingerprint"],
+        request=_loads(row["request"]),
+        priority=row["priority"],
+        state=row["state"],
+        attempts=row["attempts"],
+        max_attempts=row["max_attempts"],
+        owner=row["owner"],
+        result=_loads(row["result"]),
+        error=row["error"],
+        created_s=row["created_s"],
+        started_s=row["started_s"],
+        finished_s=row["finished_s"],
+    )
+
+
+class JobStore:
+    """Thread-safe handle on the persistent queue (see module docs)."""
+
+    def __init__(self, path, max_attempts: int = DEFAULT_MAX_ATTEMPTS):
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.path = str(path)
+        self.max_attempts = max_attempts
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._lock = threading.Lock()
+        # Autocommit mode: each statement commits on its own, explicit
+        # BEGIN IMMEDIATE brackets the few multi-statement sections.
+        self._conn = sqlite3.connect(
+            self.path, check_same_thread=False, isolation_level=None,
+            timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # ------------------------------------------------------------- #
+    # admission
+    # ------------------------------------------------------------- #
+
+    def submit(self, request: Dict, fingerprint: str,
+               priority: int = 0, dedupe: bool = True,
+               max_attempts: Optional[int] = None,
+               now: Optional[float] = None) -> Tuple[int, bool]:
+        """Enqueue one request; returns ``(job_id, deduped)``.
+
+        With ``dedupe`` (the default), a fingerprint that already has a
+        live (pending/running) or done job returns that job instead of
+        inserting — the whole check-then-insert runs under an immediate
+        transaction, so concurrent duplicate submissions from any mix
+        of threads and processes yield exactly one row.
+        """
+        now = time.time() if now is None else now
+        budget = self.max_attempts if max_attempts is None else max_attempts
+        if budget < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {budget}")
+        blob = json.dumps(request, sort_keys=True)
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                if dedupe:
+                    row = self._conn.execute(
+                        "SELECT id FROM jobs WHERE fingerprint = ? AND "
+                        "state IN ('pending','running','done') "
+                        "ORDER BY id ASC LIMIT 1",
+                        (fingerprint,)).fetchone()
+                    if row is not None:
+                        self._conn.execute("COMMIT")
+                        return row["id"], True
+                cursor = self._conn.execute(
+                    "INSERT INTO jobs (fingerprint, request, priority, "
+                    "state, max_attempts, created_s) "
+                    "VALUES (?, ?, ?, 'pending', ?, ?)",
+                    (fingerprint, blob, priority, budget, now))
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return cursor.lastrowid, False
+
+    # ------------------------------------------------------------- #
+    # worker protocol
+    # ------------------------------------------------------------- #
+
+    def claim(self, owner: str, limit: int = 1,
+              now: Optional[float] = None) -> List[Job]:
+        """Atomically move up to ``limit`` pending jobs to running.
+
+        Claim order is priority DESC then id ASC (FIFO within a
+        priority class). The claim itself is one ``UPDATE`` whose WHERE
+        clause re-checks ``state='pending'``, so a job can only ever be
+        claimed by one worker; ``attempts`` increments here, which is
+        what bounds crash re-queues (see :meth:`recover`).
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        now = time.time() if now is None else now
+        token = uuid.uuid4().hex
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET state = 'running', owner = ?, "
+                "claim_token = ?, attempts = attempts + 1, "
+                "started_s = ? "
+                "WHERE state = 'pending' AND id IN ("
+                "  SELECT id FROM jobs WHERE state = 'pending' "
+                "  ORDER BY priority DESC, id ASC LIMIT ?)",
+                (owner, token, now, limit))
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE claim_token = ? "
+                "ORDER BY priority DESC, id ASC", (token,)).fetchall()
+        return [_row_to_job(row) for row in rows]
+
+    def complete(self, job_id: int, result: Dict,
+                 now: Optional[float] = None) -> None:
+        """running -> done with a JSON result document."""
+        self._finish(job_id, "done", result=result, now=now)
+
+    def fail(self, job_id: int, error: str,
+             now: Optional[float] = None) -> None:
+        """running -> failed with a diagnostic message."""
+        self._finish(job_id, "failed", error=error, now=now)
+
+    def _finish(self, job_id: int, state: str, result: Optional[Dict] = None,
+                error: Optional[str] = None,
+                now: Optional[float] = None) -> None:
+        now = time.time() if now is None else now
+        blob = None if result is None else json.dumps(result,
+                                                      sort_keys=True)
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ?, result = ?, error = ?, "
+                "claim_token = NULL, finished_s = ? "
+                "WHERE id = ? AND state = 'running'",
+                (state, blob, error, now, job_id))
+        if cursor.rowcount != 1:
+            raise ValueError(
+                f"job {job_id} is not running (finish to {state!r})")
+
+    def release(self, job_id: int) -> None:
+        """running -> pending (voluntary give-back, e.g. graceful
+        shutdown mid-claim). Does not count against ``max_attempts``
+        beyond the claim that already happened."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = 'pending', owner = NULL, "
+                "claim_token = NULL, started_s = NULL "
+                "WHERE id = ? AND state = 'running'", (job_id,))
+        if cursor.rowcount != 1:
+            raise ValueError(f"job {job_id} is not running (release)")
+
+    # ------------------------------------------------------------- #
+    # crash recovery
+    # ------------------------------------------------------------- #
+
+    def recover(self, now: Optional[float] = None
+                ) -> Tuple[List[int], List[int]]:
+        """Re-queue jobs a dead worker left ``running``.
+
+        Returns ``(requeued_ids, failed_ids)``: jobs with attempt
+        budget left go back to pending (each crash consumes the attempt
+        its claim charged, so a job is re-queued at most
+        ``max_attempts - 1`` times); jobs that already burned their
+        budget move to failed with a crash diagnostic. Run this on
+        service startup *before* starting workers — while no claimant
+        is live — so an honest in-flight job is never yanked.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                failed = [row["id"] for row in self._conn.execute(
+                    "SELECT id FROM jobs WHERE state = 'running' AND "
+                    "attempts >= max_attempts ORDER BY id ASC")]
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'failed', "
+                    "error = 'worker died mid-job; attempt budget "
+                    "exhausted', claim_token = NULL, finished_s = ? "
+                    "WHERE state = 'running' AND "
+                    "attempts >= max_attempts", (now,))
+                requeued = [row["id"] for row in self._conn.execute(
+                    "SELECT id FROM jobs WHERE state = 'running' "
+                    "ORDER BY id ASC")]
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'pending', owner = NULL, "
+                    "claim_token = NULL, started_s = NULL "
+                    "WHERE state = 'running'")
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return requeued, failed
+
+    # ------------------------------------------------------------- #
+    # introspection
+    # ------------------------------------------------------------- #
+
+    def get(self, job_id: int) -> Optional[Job]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+        return None if row is None else _row_to_job(row)
+
+    def list_jobs(self, state: Optional[str] = None,
+                  limit: int = 50) -> List[Job]:
+        """Most recent jobs first, optionally filtered by state."""
+        if state is not None and state not in STATES:
+            raise ValueError(f"unknown state {state!r}; choose from "
+                             f"{', '.join(STATES)}")
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        with self._lock:
+            if state is None:
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs ORDER BY id DESC LIMIT ?",
+                    (limit,)).fetchall()
+            else:
+                rows = self._conn.execute(
+                    "SELECT * FROM jobs WHERE state = ? "
+                    "ORDER BY id DESC LIMIT ?", (state, limit)).fetchall()
+        return [_row_to_job(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """``{state: row count}`` with every state present (0s kept)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs "
+                "GROUP BY state").fetchall()
+        out = {state: 0 for state in STATES}
+        for row in rows:
+            out[row["state"]] = row["n"]
+        return out
+
+    def integrity_check(self) -> str:
+        """SQLite's own journal/btree consistency verdict (``ok`` when
+        healthy) — what the crash tests assert after a SIGKILL."""
+        with self._lock:
+            row = self._conn.execute("PRAGMA integrity_check").fetchone()
+        return row[0]

@@ -22,7 +22,9 @@ from repro.eval.experiments import (
 )
 from repro.eval.resultcache import ResultCache
 from repro.eval.runner import (
+    AUTO_MIN_TASKS,
     LayerSimTask,
+    auto_jobs,
     functional_model_runs,
     resolve_jobs,
     simulate_layer_tasks,
@@ -63,6 +65,47 @@ class TestResolveJobs:
         monkeypatch.setenv("REPRO_JOBS", "all")
         with pytest.raises(ValueError, match="REPRO_JOBS"):
             resolve_jobs(None)
+
+
+class TestAutoJobs:
+    """The serial-vs-pool decision table behind ``--jobs auto`` (the
+    serve default). Pins the fix for the small-host inversion where a
+    cold pool lost to the serial path (BENCH: 1.22 s parallel vs
+    0.64 s serial on one CPU)."""
+
+    @pytest.mark.parametrize("task_count,cpu_count,expected", [
+        (0, 1, 1),       # nothing to do, nothing to fork
+        (100, 1, 1),     # single-core host: a pool only adds overhead
+        (3, 8, 1),       # below AUTO_MIN_TASKS: startup dominates
+        (4, 8, 2),       # each worker amortizes over >= 2 tasks
+        (8, 8, 4),
+        (100, 8, 8),     # capped at the host's cores
+        (100, 2, 2),     # small host stays small
+    ])
+    def test_decision_table(self, task_count, cpu_count, expected):
+        assert auto_jobs(task_count, cpu_count=cpu_count) == expected
+
+    def test_negative_task_count_rejected(self):
+        with pytest.raises(ValueError):
+            auto_jobs(-1, cpu_count=4)
+
+    def test_resolve_auto_uses_task_count(self):
+        assert resolve_jobs("auto", task_count=AUTO_MIN_TASKS - 1) == 1
+        assert resolve_jobs("auto", task_count=100) \
+            == auto_jobs(100)
+
+    def test_resolve_auto_without_count_sizes_for_large_batch(self):
+        assert resolve_jobs("auto") == (os.cpu_count() or 1)
+
+    def test_env_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert resolve_jobs(None, task_count=2) == 1
+
+    def test_simulate_accepts_auto_and_stays_bit_equal(self):
+        layers = ALEXNET.conv_layers[:2]
+        tasks = _tasks([ZvcgSA()], layers)
+        assert simulate_layer_tasks(tasks, jobs="auto") \
+            == simulate_layer_tasks(tasks, jobs=1)
 
 
 class TestSimulateLayerTasks:

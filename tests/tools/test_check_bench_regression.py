@@ -62,6 +62,27 @@ class TestThroughputOf:
         record["extra_info"]["macs_per_s"] = 1e9
         assert cbr.throughput_of(record) == (1e9, "macs/s")
 
+    def test_jobs_per_s_between_spans_and_wallclock(self):
+        """The serve benchmarks gate on queue jobs completed per
+        second — preferred over their own wallclock_s, outranked by
+        the engine-level rates."""
+        record = {"stats": {"mean": 0.5},
+                  "extra_info": {"jobs_per_s": 40.0,
+                                 "wallclock_s": 2.0}}
+        assert cbr.throughput_of(record) == (40.0, "jobs/s")
+        record["extra_info"]["spans_per_s"] = 1e6
+        assert cbr.throughput_of(record) == (1e6, "spans/s")
+
+    def test_jobs_per_s_regression_fails_gate(self, tmp_path):
+        _bench_file(tmp_path / "BENCH_1.json", "2026-01-01T00:00:00",
+                    [("t::serve", 1.0, {"jobs_per_s": 50.0})])
+        _bench_file(tmp_path / "BENCH_2.json", "2026-01-02T00:00:00",
+                    [("t::serve", 1.0, {"jobs_per_s": 40.0})])
+        assert cbr.main(["--dir", str(tmp_path)]) == 1
+        _bench_file(tmp_path / "BENCH_3.json", "2026-01-03T00:00:00",
+                    [("t::serve", 1.0, {"jobs_per_s": 39.5})])
+        assert cbr.main(["--dir", str(tmp_path)]) == 0
+
     def test_configs_per_s_regression_fails_gate(self, tmp_path):
         _bench_file(tmp_path / "BENCH_1.json", "2026-01-01T00:00:00",
                     [("t::dse", 1.0, {"configs_per_s": 1000.0})])
