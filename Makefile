@@ -21,6 +21,17 @@
 #                   so nightly also gates the DSE engine's
 #                   configs-evaluated-per-second rate.
 #   make check    - just the regression diff of existing BENCH files.
+#   make chaos    - the fault-tolerance acceptance suite (tests/chaos,
+#                   see docs/robustness.md): a serve instance under a
+#                   deterministic fault storm (REPRO_FAULTS worker
+#                   crashes / task hangs / claim failures / HTTP 500s)
+#                   converging to bit-equal or cleanly-failed jobs,
+#                   corrupt result-cache entries quarantined and
+#                   recomputed, and a SIGKILLed `repro dse --checkpoint`
+#                   resumed to an artifact identical to the
+#                   uninterrupted run. Nightly runs it;
+#                   bench_fault_overhead.py in the bench sweep gates
+#                   the disabled-guard cost (guards_per_s).
 #   make serve-smoke - end-to-end self-test of the simulation service
 #                   (repro serve --smoke): boots the HTTP service on an
 #                   ephemeral port and a throwaway queue DB, submits a
@@ -62,7 +73,7 @@ STAMP      := $(shell date -u +%Y%m%dT%H%M%SZ)
 BENCH_JSON := BENCH_$(STAMP).json
 
 .PHONY: verify nightly bench check dse fig-functional cache-clear trace \
-	serve-smoke
+	serve-smoke chaos
 
 verify:
 	$(PY) -m pytest -x -q
@@ -75,11 +86,18 @@ nightly:
 	REPRO_JOBS=0 $(PY) -m pytest -q -m slow
 	$(PY) -m repro experiment xval --jobs 0
 	$(MAKE) serve-smoke
+	$(MAKE) chaos
 	$(MAKE) trace
 	$(MAKE) bench
 
 serve-smoke:
 	$(PY) -m repro serve --smoke
+
+# The chaos tests are `slow`-marked (they boot HTTP services and kill
+# subprocesses), so the plain nightly `-m slow` sweep already collects
+# them; this target runs just the fault-tolerance acceptance suite.
+chaos:
+	$(PY) -m pytest -q tests/chaos -m ""
 
 # Quick-mode so the traced run stays seconds even on a loaded nightly
 # box; --no-result-cache so the trace always covers real simulation

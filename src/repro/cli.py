@@ -86,6 +86,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.obs import logs as obs_logs
@@ -385,6 +386,10 @@ def cmd_dse(args) -> str:
     if args.quick and args.fidelity != "functional":
         raise SystemExit("--quick subsamples the cycle simulator; pass "
                          "--fidelity functional as well")
+    if args.resume is not None and (args.merge or args.shard):
+        raise SystemExit("--resume restores a checkpointed run (its own "
+                         "shard included); it does not combine with "
+                         "--merge or --shard")
     result_cache = None if args.no_result_cache else _default_result_cache()
     if args.merge:
         if args.shard is not None:
@@ -421,8 +426,11 @@ def cmd_dse(args) -> str:
                 jobs=args.jobs,
                 result_cache=result_cache,
                 shard=shard,
+                checkpoint=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
             )
-        except ValueError as exc:
+        except (OSError, ValueError) as exc:
             raise SystemExit(str(exc)) from None
     lines = []
     if args.out:
@@ -458,6 +466,8 @@ def cmd_cache(args) -> str:
             f"  bytes   : {stats['bytes']:,}",
             f"  hits    : {stats['lifetime_hits']:,} (lifetime)",
             f"  misses  : {stats['lifetime_misses']:,} (lifetime)",
+            f"  corrupt : {stats['lifetime_corrupt']:,} (lifetime; "
+            f"quarantined under corrupt/)",
         ])
     if args.action == "clear":
         removed = cache.clear()
@@ -511,20 +521,22 @@ def cmd_serve(args) -> str:
             return run_smoke(db, result_cache=result_cache)
         except (RuntimeError, TimeoutError) as exc:
             raise SystemExit(f"serve smoke FAILED: {exc}") from None
+    if args.lease_s <= 0:
+        raise SystemExit("--lease-s must be positive")
     db = args.db if args.db is not None else default_db_path()
     service = ServeService(
         db, host=args.host, port=args.port, workers=args.workers,
         jobs=jobs, result_cache=result_cache,
         batch_limit=args.batch_limit, poll_s=args.poll_s,
-        max_pending=args.max_pending)
-    requeued, crash_failed = service.recovered
+        max_pending=args.max_pending, lease_s=args.lease_s)
+    requeued, quarantined = service.recovered
     service.start()
     out = obs_logs.output_logger()
     out.info("serving on %s (db=%s, workers=%d, jobs=%s)",
              service.base_url, service.db_path, service.workers, jobs)
-    if requeued or crash_failed:
-        out.info("recovery: re-queued %d job(s), failed %d out of "
-                 "attempts", len(requeued), len(crash_failed))
+    if requeued or quarantined:
+        out.info("recovery: re-queued %d expired job(s), quarantined "
+                 "%d out of attempts", len(requeued), len(quarantined))
     try:
         while True:
             _time.sleep(3600)
@@ -533,6 +545,11 @@ def cmd_serve(args) -> str:
     finally:
         service.stop()
     return "serve: shut down"
+
+
+#: ``repro submit --wait`` exits with this when the job is still in
+#: flight at the deadline — distinguishable from a failed job (1).
+EXIT_WAIT_TIMEOUT = 4
 
 
 def cmd_submit(args) -> str:
@@ -561,11 +578,17 @@ def cmd_submit(args) -> str:
         try:
             job = wait_for_job(base, admitted["id"],
                                timeout_s=args.timeout)
-        except (RuntimeError, TimeoutError, OSError) as exc:
+        except TimeoutError as exc:
+            # Distinct exit code so wrappers can tell "still running,
+            # deadline elapsed" (retryable: poll again / re---wait)
+            # from a job that actually failed.
+            print(str(exc), file=sys.stderr)
+            raise SystemExit(EXIT_WAIT_TIMEOUT) from None
+        except (RuntimeError, OSError) as exc:
             raise SystemExit(str(exc)) from None
         if job["state"] != "done":
             raise SystemExit(
-                f"job {job['id']} failed: {job.get('error')}")
+                f"job {job['id']} {job['state']}: {job.get('error')}")
         result = job["result"]
         lines += [
             f"{result['model']} on {result['accelerator']} "
@@ -580,6 +603,11 @@ def cmd_submit(args) -> str:
 def cmd_jobs(args) -> str:
     """List queue contents — over HTTP, or straight off a DB file
     (``--db``; works while no server is up, e.g. post-crash triage)."""
+    if args.quarantined:
+        if args.state not in (None, "quarantined"):
+            raise SystemExit("--quarantined conflicts with "
+                             f"--state {args.state}")
+        args.state = "quarantined"
     if args.db is not None:
         from repro.serve import JobStore
 
@@ -609,19 +637,21 @@ def cmd_jobs(args) -> str:
         jobs = body["jobs"]
         counts = health["counts"]
     lines = [("queue: "
-              + "  ".join(f"{state}={counts[state]}"
+              + "  ".join(f"{state}={counts.get(state, 0)}"
                           for state in ("pending", "running", "done",
-                                        "failed")))]
+                                        "failed", "quarantined")))]
     if jobs:
-        lines.append(f"  {'id':>5} {'state':<8} {'prio':>4} {'att':>3} "
+        lines.append(f"  {'id':>5} {'state':<11} {'prio':>4} {'att':>3} "
                      f"{'model':<14} {'accel':<10} {'tier':<10}")
     for job in jobs:
         req = job["request"]
         lines.append(
-            f"  {job['id']:>5} {job['state']:<8} {job['priority']:>4} "
+            f"  {job['id']:>5} {job['state']:<11} {job['priority']:>4} "
             f"{job['attempts']:>3} {req.get('model', '?'):<14} "
             f"{req.get('accelerator', '?'):<10} "
             f"{req.get('tier', '?'):<10}")
+        if job["state"] == "quarantined" and job.get("error"):
+            lines.append(f"        ^ {job['error']}")
     return "\n".join(lines)
 
 
@@ -836,6 +866,20 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--merge", nargs="+", default=None, metavar="JSON",
                      help="merge per-shard artifacts and run the "
                           "refinement to completion")
+    dse.add_argument("--checkpoint", default=None, metavar="JSON",
+                     help="atomically snapshot progress here every "
+                          "--checkpoint-every coarse points and every "
+                          "refinement round; resume after a crash with "
+                          "--resume")
+    dse.add_argument("--checkpoint-every", type=int, default=256,
+                     metavar="N",
+                     help="coarse points between checkpoints "
+                          "(default 256)")
+    dse.add_argument("--resume", default=None, metavar="JSON",
+                     help="restore a --checkpoint snapshot and continue "
+                          "(run configuration comes from the snapshot; "
+                          "the final artifact equals an uninterrupted "
+                          "run's)")
     dse.add_argument("--out", default=None, metavar="JSON",
                      help="write the artifact (evaluations + frontier + "
                           "rounds) as JSON")
@@ -908,6 +952,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission control: reject submissions "
                             "(HTTP 503) while the pending backlog is "
                             "at N (default: unbounded)")
+    serve.add_argument("--lease-s", type=float, default=30.0,
+                       metavar="S",
+                       help="running-job lease duration; a worker that "
+                            "stops heartbeating for S seconds forfeits "
+                            "the job (re-queued with backoff, or "
+                            "quarantined out of attempts) (default 30)")
     serve.add_argument("--no-result-cache", action="store_true",
                        help="serve without the on-disk result cache "
                             "(every job re-simulates)")
@@ -951,7 +1001,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "its result summary")
     submit.add_argument("--timeout", type=float, default=600,
                         metavar="S",
-                        help="--wait deadline in seconds (default 600)")
+                        help="--wait deadline in seconds (default 600); "
+                             f"exits {EXIT_WAIT_TIMEOUT} if the job is "
+                             "still in flight at the deadline")
     _add_verbosity_flags(submit)
     submit.set_defaults(func=cmd_submit)
 
@@ -963,8 +1015,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "off the SQLite file with --db (works with no "
                     "server up, e.g. post-crash triage).")
     jobs.add_argument("--state", default=None,
-                      choices=("pending", "running", "done", "failed"),
+                      choices=("pending", "running", "done", "failed",
+                               "quarantined"),
                       help="only jobs in this state")
+    jobs.add_argument("--quarantined", action="store_true",
+                      help="shorthand for --state quarantined (jobs "
+                           "that repeatedly took a worker down; they "
+                           "never run again without manual action)")
     jobs.add_argument("--limit", type=int, default=20,
                       help="rows to show, newest first (default 20)")
     jobs.add_argument("--host", default="127.0.0.1")

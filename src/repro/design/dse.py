@@ -31,6 +31,12 @@ of Timeloop/Accelergy-class infrastructure:
   (cheap, cache-backed) refinement — producing an artifact identical to
   an unsharded run by construction (asserted in
   ``tests/design/test_dse.py``).
+- **Checkpoint/resume**: ``checkpoint=PATH`` atomically snapshots the
+  evaluated set plus refinement state every ``checkpoint_every`` coarse
+  points and at every refine-round boundary; ``resume=PATH`` picks the
+  sweep back up after a crash (or a SIGKILL) and, because evaluation is
+  per-point pure and the frontier is a pure function of the evaluation
+  set, produces an artifact identical to an uninterrupted run.
 
 ``repro dse`` is the CLI front-end; ``benchmarks/bench_dse_throughput``
 freezes configs-evaluated-per-second into ``BENCH_*.json``.
@@ -41,12 +47,16 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.design.space import DesignPoint, enumerate_design_space
 from repro.eval.tables import ExperimentResult
 from repro.models.specs import BLOCK_SIZE, LayerSpec
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.trace import traced
 from repro.workloads.typical import typical_conv_layer
@@ -56,13 +66,19 @@ __all__ = [
     "DSEPoint",
     "DSEEvaluation",
     "DSESpace",
+    "DSE_CHECKPOINT_VERSION",
     "evaluate_points",
+    "load_checkpoint",
     "pareto_frontier_3d",
     "run_dse",
     "merge_artifacts",
     "parse_shard",
     "render_artifact",
 ]
+
+#: Bumped whenever the checkpoint payload shape changes; resume refuses
+#: checkpoints from another version outright.
+DSE_CHECKPOINT_VERSION = 1
 
 #: Fields of :class:`DesignPoint` that span the design axis; two designs
 #: of the same datapath style are neighbors when at most two of these
@@ -447,20 +463,96 @@ def _artifact(config: dict, total_points: int, phase: str,
     }
 
 
+def _write_json_atomic(path: Path, data: dict) -> None:
+    """Write-to-temp + ``os.replace`` so a crash mid-write can never
+    leave a torn checkpoint — the previous one survives intact."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(data, handle, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _checkpoint_payload(config: dict, total_points: int,
+                        shard: Optional[Tuple[int, int]],
+                        evaluations: Dict[str, DSEEvaluation],
+                        coarse_done: int,
+                        refine: Optional[dict]) -> dict:
+    space = dict(config)
+    space["signature"] = _signature(config)
+    space["points"] = total_points
+    return {
+        "artifact": "dse-checkpoint",
+        "version": DSE_CHECKPOINT_VERSION,
+        "space": space,
+        "shard": (None if shard is None
+                  else {"index": shard[0], "count": shard[1]}),
+        "coarse_done": coarse_done,
+        "evaluations": [evaluations[uid].as_dict()
+                        for uid in sorted(evaluations)],
+        "refine": refine,
+    }
+
+
+def load_checkpoint(path) -> dict:
+    """Read and validate a DSE checkpoint written by ``run_dse``.
+
+    Raises ``ValueError`` on anything that is not a compatible
+    checkpoint: wrong artifact kind, wrong version, or a space
+    signature that no longer matches its own stored configuration
+    (corruption, or a hand-edited file)."""
+    data = json.loads(Path(path).read_text())
+    if data.get("artifact") != "dse-checkpoint":
+        raise ValueError(f"{path}: not a DSE checkpoint")
+    if data.get("version") != DSE_CHECKPOINT_VERSION:
+        raise ValueError(
+            f"{path}: checkpoint version {data.get('version')!r} != "
+            f"{DSE_CHECKPOINT_VERSION}")
+    space = data["space"]
+    config = _space_config(
+        DSEAxes.from_dict(space["axes"]), space["coarse_stride"],
+        space["stable_rounds"], space["fidelity"], space["seed"],
+        space["max_m"])
+    if _signature(config) != space.get("signature"):
+        raise ValueError(
+            f"{path}: space signature mismatch — checkpoint is corrupt "
+            f"or was written against a different space definition")
+    if not 0 <= int(data.get("coarse_done", -1)):
+        raise ValueError(f"{path}: bad coarse_done")
+    return data
+
+
 def _refine(space: DSESpace, evaluations: Dict[str, DSEEvaluation],
             config: dict, jobs: Optional[int], result_cache,
-            max_rounds: int = 64) -> Tuple[List[DSEEvaluation],
-                                           List[dict]]:
+            max_rounds: int = 64,
+            rounds: Optional[List[dict]] = None, stable: int = 0,
+            save=None) -> Tuple[List[DSEEvaluation], List[dict]]:
     """The adaptive loop: evaluate the frontier's neighborhood each
     round, widening the ring while the frontier holds, until it has
     been stable for ``stable_rounds`` rounds or the whole reachable
-    neighborhood is evaluated (which proves stability)."""
+    neighborhood is evaluated (which proves stability).
+
+    ``rounds``/``stable`` seed the loop from a checkpoint; the frontier
+    itself is recomputed from the evaluation set (of which it is a pure
+    function), so they are the *only* path-dependent state. ``save``,
+    when given, is called after every completed round with
+    ``(evaluations, {"rounds": ..., "stable": ...})``.
+    """
     stable_rounds = config["stable_rounds"]
     frontier = pareto_frontier_3d(evaluations.values())
-    rounds = [{"round": 0, "new_points": len(evaluations),
-               "evaluated": len(evaluations),
-               "frontier_size": len(frontier)}]
-    stable = 0
+    if rounds is None:
+        rounds = [{"round": 0, "new_points": len(evaluations),
+                   "evaluated": len(evaluations),
+                   "frontier_size": len(frontier)}]
+    else:
+        rounds = [dict(r) for r in rounds]
     while stable < stable_rounds and len(rounds) <= max_rounds:
         frontier_uids = [e.uid for e in frontier]
         candidates = [p for p in space.neighborhood(frontier_uids,
@@ -484,6 +576,8 @@ def _refine(space: DSESpace, evaluations: Dict[str, DSEEvaluation],
         rounds.append({"round": len(rounds), "new_points": len(candidates),
                        "evaluated": len(evaluations),
                        "frontier_size": len(frontier)})
+        if save is not None:
+            save(evaluations, {"rounds": rounds, "stable": stable})
     return frontier, rounds
 
 
@@ -498,6 +592,9 @@ def run_dse(
     jobs: Optional[int] = None,
     result_cache=None,
     shard: Optional[Tuple[int, int]] = None,
+    checkpoint=None,
+    checkpoint_every: int = 256,
+    resume=None,
 ) -> dict:
     """Run the sweep and return the JSON-ready artifact.
 
@@ -506,7 +603,40 @@ def run_dse(
     only and return a ``phase="coarse"`` partial artifact;
     :func:`merge_artifacts` over all ``n`` shards completes the
     refinement and yields an artifact identical to the unsharded run.
+
+    ``checkpoint=PATH`` atomically snapshots progress every
+    ``checkpoint_every`` coarse points and after every refinement
+    round. ``resume=PATH`` restores a snapshot and continues; the run
+    configuration (axes, stride, fidelity, seed, ...) is taken from
+    the checkpoint — the corresponding arguments are ignored — so a
+    resumed run is the *same* run and its final artifact equals the
+    uninterrupted one. When resuming without an explicit
+    ``checkpoint``, new snapshots keep going to the resume path, so a
+    crash-restart loop needs only ``resume=PATH``.
     """
+    if checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    evaluations: Dict[str, DSEEvaluation] = {}
+    coarse_done = 0
+    refine_state: Optional[dict] = None
+    if resume is not None:
+        state = load_checkpoint(resume)
+        stored = state["space"]
+        axes = DSEAxes.from_dict(stored["axes"])
+        coarse_stride = stored["coarse_stride"]
+        stable_rounds = stored["stable_rounds"]
+        fidelity = stored["fidelity"]
+        seed = stored["seed"]
+        max_m = stored["max_m"]
+        shard = (None if state["shard"] is None
+                 else (state["shard"]["index"], state["shard"]["count"]))
+        evaluations = {row["uid"]: DSEEvaluation.from_dict(row)
+                       for row in state["evaluations"]}
+        coarse_done = int(state["coarse_done"])
+        refine_state = state["refine"]
+        if checkpoint is None:
+            checkpoint = resume
     if coarse_stride < 1:
         raise ValueError(f"coarse_stride must be >= 1, got {coarse_stride}")
     if stable_rounds < 1:
@@ -515,21 +645,45 @@ def run_dse(
     config = _space_config(space.axes, coarse_stride, stable_rounds,
                            fidelity, seed, max_m)
     coarse = space.points[::coarse_stride]
+    owned = coarse if shard is None else coarse[shard[0]::shard[1]]
+    if coarse_done > len(owned):
+        raise ValueError(
+            f"checkpoint has {coarse_done} coarse points but the space "
+            f"only owns {len(owned)} — wrong checkpoint for this space")
+    checkpoint_path = None if checkpoint is None else Path(checkpoint)
+
+    def save(refine: Optional[dict]) -> None:
+        if checkpoint_path is None:
+            return
+        _write_json_atomic(checkpoint_path, _checkpoint_payload(
+            config, len(space), shard, evaluations, coarse_done, refine))
+        obs_metrics.default_registry().counter("dse.checkpoints").inc()
+
+    pending = owned[coarse_done:]
+    with obs_trace.span("coarse" if shard is None else "coarse-shard",
+                        "dse", points=len(owned), pending=len(pending)):
+        if checkpoint_path is None:
+            evaluations.update(evaluate_points(
+                pending, fidelity=fidelity, seed=seed, max_m=max_m,
+                jobs=jobs, result_cache=result_cache))
+            coarse_done = len(owned)
+        else:
+            for start in range(0, len(pending), checkpoint_every):
+                chunk = pending[start:start + checkpoint_every]
+                evaluations.update(evaluate_points(
+                    chunk, fidelity=fidelity, seed=seed, max_m=max_m,
+                    jobs=jobs, result_cache=result_cache))
+                coarse_done += len(chunk)
+                save(refine_state)
     if shard is not None:
-        index, count = shard
-        owned = coarse[index::count]
-        with obs_trace.span("coarse-shard", "dse", points=len(owned)):
-            evaluations = evaluate_points(
-                owned, fidelity=fidelity, seed=seed, max_m=max_m,
-                jobs=jobs, result_cache=result_cache)
         return _artifact(config, len(space), "coarse", shard,
                          evaluations, [], [], result_cache)
-    with obs_trace.span("coarse", "dse", points=len(coarse)):
-        evaluations = evaluate_points(
-            coarse, fidelity=fidelity, seed=seed, max_m=max_m,
-            jobs=jobs, result_cache=result_cache)
-    frontier, rounds = _refine(space, evaluations, config, jobs,
-                               result_cache)
+    frontier, rounds = _refine(
+        space, evaluations, config, jobs, result_cache,
+        rounds=None if refine_state is None else refine_state["rounds"],
+        stable=0 if refine_state is None else int(refine_state["stable"]),
+        save=None if checkpoint_path is None else
+        (lambda _evals, refine: save(refine)))
     return _artifact(config, len(space), "final", None, evaluations,
                      frontier, rounds, result_cache)
 

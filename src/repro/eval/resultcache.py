@@ -24,9 +24,12 @@ runner's workers return; finalization re-runs on every consumption, so
 a cached result is bit-equal to a cold simulation by construction
 (asserted in ``tests/eval/test_runner.py``). Entries are small JSON
 files (a few hundred bytes each), written atomically, evicted oldest
-first once the directory exceeds ``max_bytes``; a corrupt or truncated
-entry reads as a miss. ``repro cache stats|clear|prune`` manages the
-default cache from the CLI.
+first once the directory exceeds ``max_bytes``. A corrupt or truncated
+entry reads as a miss — but a *counted* one: the bad file moves to the
+``corrupt/`` subdirectory (so it can never be re-hit, and stays around
+for forensics), ``result_cache.corrupt`` increments, and the lifetime
+sidecar accumulates the count across runs. ``repro cache
+stats|clear|prune`` manages the default cache from the CLI.
 
 The default location is ``$REPRO_CACHE_DIR`` (falling back to
 ``~/.cache/repro/results``); set ``REPRO_RESULT_CACHE=0`` to disable
@@ -45,15 +48,22 @@ import pathlib
 import tempfile
 from typing import Dict, Optional, Tuple
 
+from repro import faults
 from repro.arch.events import EventCounts
 from repro.obs import metrics as obs_metrics
 
-__all__ = ["CODE_VERSION", "ResultCache", "combine_keys",
-           "default_result_cache", "payload_key"]
+__all__ = ["CODE_VERSION", "CORRUPT_SUBDIR", "ResultCache",
+           "combine_keys", "default_result_cache", "payload_key"]
 
 #: Lifetime-stats sidecar filename. Deliberately *not* ``*.json`` so
 #: the entry glob (and byte accounting / eviction) never sees it.
 STATS_SIDECAR = "stats.meta"
+
+#: Quarantine subdirectory for corrupt entries. The entry glob is
+#: non-recursive, so quarantined files are invisible to get/prune —
+#: a bad entry can never be re-hit, re-counted or "evicted" as if it
+#: were data.
+CORRUPT_SUBDIR = "corrupt"
 
 #: Version salt folded into every cache key. Bump whenever any
 #: functional simulator's event accounting or operand synthesis
@@ -177,10 +187,11 @@ class ResultCache:
         self.misses = 0
         self.puts = 0
         self.evictions = 0
+        self.corrupt = 0
         # Counts already folded into the on-disk lifetime sidecar, so
         # repeated persist_stats() calls only add the new delta.
         self._persisted = {"hits": 0, "misses": 0, "puts": 0,
-                           "evictions": 0}
+                           "evictions": 0, "corrupt": 0}
         # Running size estimate so ``put`` does not re-scan the whole
         # directory per insert: seeded by one scan on the first put,
         # advanced per entry, re-anchored whenever eviction runs.
@@ -207,20 +218,55 @@ class ResultCache:
     # ------------------------------------------------------------- #
 
     def get(self, key: str) -> Optional[Tuple[int, EventCounts]]:
-        """The cached payload, or ``None`` on miss / corrupt entry."""
+        """The cached payload, or ``None`` on miss / corrupt entry.
+
+        A file that exists but fails to parse is *corruption*, not a
+        plain miss: it is counted separately (``result_cache.corrupt``
+        metric, ``corrupt`` in the lifetime sidecar) and quarantined to
+        the ``corrupt/`` subdirectory so the next lookup of the same
+        key re-simulates instead of re-hitting the bad bytes. Either
+        way the caller sees ``None`` and the engine recomputes — a
+        corrupt entry can degrade performance, never correctness.
+        """
         path = self._entry_path(key)
         try:
-            payload = json.loads(path.read_text())
-            compute_cycles = payload["compute_cycles"]
-            events = EventCounts(**payload["events"])
-        except (OSError, ValueError, TypeError, KeyError):
+            raw = path.read_bytes()
+        except OSError:
             self.misses += 1
             obs_metrics.default_registry().counter(
                 "result_cache.misses").inc()
             return None
+        raw = faults.mangle("cache_read", key, raw)
+        try:
+            payload = json.loads(raw)
+            compute_cycles = payload["compute_cycles"]
+            events = EventCounts(**payload["events"])
+        except (ValueError, TypeError, KeyError):
+            self._quarantine_entry(path)
+            self.corrupt += 1
+            self.misses += 1
+            registry = obs_metrics.default_registry()
+            registry.counter("result_cache.corrupt").inc()
+            registry.counter("result_cache.misses").inc()
+            return None
         self.hits += 1
         obs_metrics.default_registry().counter("result_cache.hits").inc()
         return int(compute_cycles), events
+
+    def _quarantine_entry(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry to ``corrupt/`` (best-effort: a
+        concurrent reader may have moved it first; an unwritable store
+        falls back to deleting the bad file — leaving it in place to be
+        re-hit forever is the one unacceptable outcome)."""
+        target_dir = self.path / CORRUPT_SUBDIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def put(self, key: str, compute_cycles: int,
             events: EventCounts) -> None:
@@ -231,6 +277,11 @@ class ResultCache:
             "compute_cycles": int(compute_cycles),
             "events": events.as_dict(),
         }, sort_keys=True)
+        # Chaos-suite injection point: a fired cache_corrupt fault
+        # garbles the entry on its way to disk, exercising the
+        # read-side quarantine end to end.
+        blob = faults.mangle("cache_write", key, blob.encode()).decode(
+            "utf-8", errors="replace")
         fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
         entry = self._entry_path(key)
         # An overwritten entry's bytes leave the store when os.replace
@@ -288,10 +339,13 @@ class ResultCache:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
             "lifetime_hits": lifetime["hits"] + self.hits
             - self._persisted["hits"],
             "lifetime_misses": lifetime["misses"] + self.misses
             - self._persisted["misses"],
+            "lifetime_corrupt": lifetime["corrupt"] + self.corrupt
+            - self._persisted["corrupt"],
         }
 
     # ------------------------------------------------------------- #
@@ -308,7 +362,8 @@ class ResultCache:
         each pool run) started its in-memory counters at zero and threw
         them away on exit. The sidecar accumulates them instead.
         """
-        base = {"hits": 0, "misses": 0, "puts": 0, "evictions": 0}
+        base = {"hits": 0, "misses": 0, "puts": 0, "evictions": 0,
+                "corrupt": 0}
         try:
             data = json.loads(self._sidecar_path().read_text())
         except (OSError, ValueError):
@@ -324,7 +379,8 @@ class ResultCache:
         the on-disk lifetime sidecar (atomic replace; the cross-process
         read-modify-write is best-effort, like eviction)."""
         current = {"hits": self.hits, "misses": self.misses,
-                   "puts": self.puts, "evictions": self.evictions}
+                   "puts": self.puts, "evictions": self.evictions,
+                   "corrupt": self.corrupt}
         delta = {key: current[key] - self._persisted[key]
                  for key in current}
         if not any(delta.values()):
@@ -379,6 +435,13 @@ class ResultCache:
             except OSError:
                 continue
             removed += 1
+        corrupt_dir = self.path / CORRUPT_SUBDIR
+        if corrupt_dir.is_dir():
+            for path in corrupt_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         try:
             self._sidecar_path().unlink()
         except OSError:
@@ -387,8 +450,9 @@ class ResultCache:
         self.misses = 0
         self.puts = 0
         self.evictions = 0
+        self.corrupt = 0
         self._persisted = {"hits": 0, "misses": 0, "puts": 0,
-                           "evictions": 0}
+                           "evictions": 0, "corrupt": 0}
         self._approx_bytes = 0
         return removed
 

@@ -40,15 +40,19 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing
 
+from repro import faults
 from repro.accel.base import AcceleratorModel, AccelRunResult
 from repro.arch.events import EventCounts
 from repro.eval.resultcache import ResultCache
 from repro.models.specs import LayerSpec, ModelSpec
+from repro.obs import logs as obs_logs
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
@@ -59,6 +63,12 @@ __all__ = [
     "simulate_layer_tasks",
     "functional_model_runs",
 ]
+
+log = obs_logs.get_logger(__name__)
+
+#: ``$REPRO_TASK_TIMEOUT`` supplies the default per-task pool timeout
+#: (seconds; unset/empty = wait forever, the pre-robustness behavior).
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
 
 #: Floor on a pool worker's operand-cache byte budget — a worker must
 #: always be able to hold at least one large layer's operands while it
@@ -167,6 +177,10 @@ def _worker_init(operand_budget: int,
     from repro.workloads.from_spec import default_operand_cache
 
     obs_trace.reset_for_worker(shard_dir)
+    # Arm worker-only faults (worker_crash / task_hang): they must
+    # never fire on the parent's serial fallback path, which is what
+    # guarantees degradation converges.
+    faults.mark_worker()
     cache = default_operand_cache()
     cache.resize(operand_budget)
     cache.reset_stats()
@@ -178,6 +192,14 @@ def _simulate_task(task: LayerSimTask) -> Tuple[int, EventCounts]:
         return task.accel._layer_events(task.layer)
     return task.accel.simulate_layer_functional(
         task.layer, seed=task.seed, max_m=task.max_m)
+
+
+def _task_fault_key(task: LayerSimTask) -> str:
+    """Stable identity for fault-injection decisions — same fields the
+    result-cache fingerprint covers, minus the (expensive) config hash:
+    deterministic across processes and re-orderings."""
+    return (f"{task.accel.name}|{task.layer.name}|{task.seed}|"
+            f"{task.max_m}|{task.tier}")
 
 
 def _run_task(task: LayerSimTask
@@ -193,6 +215,7 @@ def _run_task(task: LayerSimTask
     """
     from repro.workloads.from_spec import default_operand_cache
 
+    faults.inject("task_execute", _task_fault_key(task))
     start_ns = time.perf_counter_ns()
     with obs_trace.span(task.layer.name, "layer",
                         accel=task.accel.name, tier=task.tier):
@@ -259,11 +282,146 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def _resolve_task_timeout(task_timeout_s: Optional[float]
+                          ) -> Optional[float]:
+    """Per-task pool timeout: explicit value wins, else
+    ``$REPRO_TASK_TIMEOUT`` (seconds), else None (wait forever)."""
+    if task_timeout_s is not None:
+        if task_timeout_s <= 0:
+            raise ValueError(
+                f"task_timeout_s must be > 0, got {task_timeout_s}")
+        return task_timeout_s
+    env = os.environ.get(TASK_TIMEOUT_ENV, "").strip()
+    if not env:
+        return None
+    value = float(env)
+    if value <= 0:
+        raise ValueError(
+            f"{TASK_TIMEOUT_ENV} must be > 0 seconds, got {env!r}")
+    return value
+
+
+def _run_serial(tasks: Sequence[LayerSimTask], indices: Sequence[int],
+                registry, operand_cache
+                ) -> Dict[int, Tuple[int, EventCounts]]:
+    """The serial execution body — also the degradation target: the
+    pool path re-executes its failed slice here, bit-equal by
+    construction (same simulation entry points, same seeds)."""
+    from repro.workloads.from_spec import default_operand_cache
+
+    op_cache = (operand_cache if operand_cache is not None
+                else default_operand_cache())
+    before = op_cache.stats()
+    compute = registry.histogram("runner.compute_ns")
+    payloads: Dict[int, Tuple[int, EventCounts]] = {}
+    for i in indices:
+        task = tasks[i]
+        start_ns = time.perf_counter_ns()
+        with obs_trace.span(task.layer.name, "layer",
+                            accel=task.accel.name,
+                            tier=task.tier):
+            if task.analytic:
+                payload = task.accel._layer_events(task.layer)
+            else:
+                payload = task.accel.simulate_layer_functional(
+                    task.layer, seed=task.seed,
+                    max_m=task.max_m, cache=operand_cache)
+        compute.observe(time.perf_counter_ns() - start_ns)
+        payloads[i] = payload
+    after = op_cache.stats()
+    registry.merge_counts(
+        {key: after[key] - before[key]
+         for key in ("hits", "misses", "evictions", "races")},
+        prefix="operand_cache.")
+    return payloads
+
+
+def _run_pool(tasks: Sequence[LayerSimTask], indices: Sequence[int],
+              workers: int, budget: int,
+              task_timeout_s: Optional[float]
+              ) -> Tuple[Dict[int, Tuple[int, EventCounts]],
+                         List[dict], List[int]]:
+    """Fan ``indices`` out over a process pool, surviving pool death.
+
+    Returns ``(payloads_by_index, telemetry, redo_indices)``. A worker
+    crash (``BrokenProcessPool``) or a per-task timeout stops
+    collection, salvages every already-finished future, and reports the
+    rest in ``redo_indices`` for the caller's serial fallback — the
+    pool path never aborts the experiment. A timeout additionally
+    terminates the (hung) worker processes so the interpreter is not
+    held hostage at exit. A task that raises a *real* simulation error
+    still propagates: degradation is for infrastructure failures, not
+    for masking bugs.
+    """
+    payloads: Dict[int, Tuple[int, EventCounts]] = {}
+    telemetry: List[dict] = []
+    redo: List[int] = []
+    hung = False
+    pool = ProcessPoolExecutor(
+        max_workers=workers, mp_context=_pool_context(),
+        initializer=_worker_init,
+        initargs=(budget, obs_trace.active_shard_dir()))
+    try:
+        futures = {i: pool.submit(_run_task, tasks[i]) for i in indices}
+        to_collect = list(indices)
+        while to_collect:
+            i = to_collect[0]
+            try:
+                payload, record = futures[i].result(
+                    timeout=task_timeout_s)
+            except FuturesTimeout:
+                hung = True
+                log.warning(
+                    "pool task timed out after %.3g s; degrading the "
+                    "remaining %d task(s) to the serial path",
+                    task_timeout_s, len(to_collect))
+                break
+            except BrokenProcessPool:
+                log.warning(
+                    "process pool broke (worker died); degrading the "
+                    "remaining %d task(s) to the serial path",
+                    len(to_collect))
+                break
+            payloads[i] = payload
+            telemetry.append(record)
+            to_collect.pop(0)
+        for j in to_collect:
+            future = futures[j]
+            if future.done() and not future.cancelled():
+                try:
+                    payload, record = future.result(timeout=0)
+                except Exception:  # noqa: BLE001 — broken future
+                    redo.append(j)
+                else:
+                    payloads[j] = payload
+                    telemetry.append(record)
+            else:
+                future.cancel()
+                redo.append(j)
+    finally:
+        if hung:
+            # cancel_futures keeps queued work off the dying pool; the
+            # hung workers themselves only die when terminated. The
+            # process handles must be snapshotted first — shutdown
+            # clears the executor's bookkeeping.
+            procs = list((getattr(pool, "_processes", None) or {})
+                         .values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                try:
+                    proc.terminate()
+                except Exception:  # noqa: BLE001 — already dead
+                    pass
+        pool.shutdown(wait=True, cancel_futures=True)
+    return payloads, telemetry, redo
+
+
 def simulate_layer_tasks(
     tasks: Sequence[LayerSimTask],
     jobs=None,
     result_cache: Optional[ResultCache] = None,
     operand_cache=None,
+    task_timeout_s: Optional[float] = None,
 ) -> List[Tuple[int, EventCounts]]:
     """Simulate every task, parallel and memoized; results in task order.
 
@@ -278,6 +436,13 @@ def simulate_layer_tasks(
     ``operand_cache`` overrides the process-default operand memo on the
     *serial* path only — worker processes always use their own
     process-local caches.
+
+    **Graceful degradation**: a dying pool (``BrokenProcessPool``) or a
+    per-task timeout (``task_timeout_s``, default from
+    ``$REPRO_TASK_TIMEOUT``) does not abort the batch — finished
+    futures are salvaged and the rest re-execute on the serial path,
+    bit-equal by construction (``runner.degraded`` counts batches,
+    ``runner.retries`` counts re-executed tasks).
     """
     from repro.eval.resultcache import payload_key
 
@@ -308,6 +473,7 @@ def simulate_layer_tasks(
     # Resolved against the post-dedupe/post-cache miss count: a batch
     # that is mostly cache hits must not pay pool startup for the tail.
     jobs = resolve_jobs(jobs, task_count=len(pending))
+    task_timeout_s = _resolve_task_timeout(task_timeout_s)
     if pending:
         if jobs > 1 and len(pending) > 1:
             from repro.workloads.from_spec import default_operand_cache
@@ -320,46 +486,23 @@ def simulate_layer_tasks(
             dispatch_ns = time.perf_counter_ns()
             with obs_trace.span("pool", "runner", workers=workers,
                                 tasks=len(pending)):
-                with ProcessPoolExecutor(
-                        max_workers=workers,
-                        mp_context=_pool_context(),
-                        initializer=_worker_init,
-                        initargs=(budget,
-                                  obs_trace.active_shard_dir())) as pool:
-                    outcomes = list(pool.map(
-                        _run_task, [tasks[i] for i in pending],
-                        chunksize=1))
-            payloads = [payload for payload, _ in outcomes]
-            _merge_worker_telemetry(
-                registry, dispatch_ns,
-                [record for _, record in outcomes])
+                by_index, telemetry, redo = _run_pool(
+                    tasks, pending, workers, budget, task_timeout_s)
+            _merge_worker_telemetry(registry, dispatch_ns, telemetry)
+            if redo:
+                registry.counter("runner.degraded").inc()
+                registry.counter("runner.retries").inc(len(redo))
+                log.warning(
+                    "degraded: re-executing %d of %d pool task(s) "
+                    "serially", len(redo), len(pending))
+                with obs_trace.span("degraded-serial", "runner",
+                                    tasks=len(redo)):
+                    by_index.update(_run_serial(
+                        tasks, redo, registry, operand_cache))
+            payloads = [by_index[i] for i in pending]
         else:
-            from repro.workloads.from_spec import default_operand_cache
-
-            op_cache = (operand_cache if operand_cache is not None
-                        else default_operand_cache())
-            before = op_cache.stats()
-            compute = registry.histogram("runner.compute_ns")
-            payloads = []
-            for i in pending:
-                task = tasks[i]
-                start_ns = time.perf_counter_ns()
-                with obs_trace.span(task.layer.name, "layer",
-                                    accel=task.accel.name,
-                                    tier=task.tier):
-                    if task.analytic:
-                        payload = task.accel._layer_events(task.layer)
-                    else:
-                        payload = task.accel.simulate_layer_functional(
-                            task.layer, seed=task.seed,
-                            max_m=task.max_m, cache=operand_cache)
-                compute.observe(time.perf_counter_ns() - start_ns)
-                payloads.append(payload)
-            after = op_cache.stats()
-            registry.merge_counts(
-                {key: after[key] - before[key]
-                 for key in ("hits", "misses", "evictions", "races")},
-                prefix="operand_cache.")
+            serial = _run_serial(tasks, pending, registry, operand_cache)
+            payloads = [serial[i] for i in pending]
         for i, payload in zip(pending, payloads):
             results[i] = payload
             if result_cache is not None:

@@ -26,7 +26,15 @@ from repro.serve.jobs import (
     result_payload,
     run_requests,
 )
-from repro.serve.queue import Job, JobStore, STATES, default_db_path
+from repro.serve.queue import (
+    DEFAULT_LEASE_S,
+    Job,
+    JobStore,
+    STATES,
+    TERMINAL_STATES,
+    backoff_s,
+    default_db_path,
+)
 from repro.serve.scheduler import (
     Scheduler,
     assemble_batches,
@@ -36,6 +44,7 @@ from repro.serve.scheduler import (
 )
 
 __all__ = [
+    "DEFAULT_LEASE_S",
     "Job",
     "JobStore",
     "RequestError",
@@ -43,7 +52,9 @@ __all__ = [
     "Scheduler",
     "ServeService",
     "SimRequest",
+    "TERMINAL_STATES",
     "assemble_batches",
+    "backoff_s",
     "dedupe_jobs",
     "default_db_path",
     "estimated_cost",

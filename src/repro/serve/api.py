@@ -40,6 +40,7 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.obs import logs as obs_logs
 from repro.obs import metrics as obs_metrics
 from repro.serve.jobs import (
@@ -47,7 +48,7 @@ from repro.serve.jobs import (
     parse_request,
     request_fingerprint,
 )
-from repro.serve.queue import STATES, JobStore
+from repro.serve.queue import DEFAULT_LEASE_S, STATES, JobStore
 from repro.serve.scheduler import _DEFAULT_CACHE, Scheduler
 
 __all__ = [
@@ -84,7 +85,20 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(blob)
 
+    def _faults_ok(self) -> bool:
+        """Chaos-suite injection point: a fired ``http_error`` fault
+        becomes a plain 500 — the client sees a clean retryable error,
+        never a half-written response."""
+        try:
+            faults.inject("http_handler", f"{self.command} {self.path}")
+        except faults.InjectedFault as exc:
+            self._send_json(500, {"error": str(exc)})
+            return False
+        return True
+
     def do_POST(self) -> None:  # noqa: N802 — stdlib hook
+        if not self._faults_ok():
+            return
         if self.path.rstrip("/") != "/jobs":
             self._send_json(404, {"error": f"no such endpoint "
                                            f"{self.path!r}"})
@@ -108,6 +122,8 @@ class _Handler(BaseHTTPRequestHandler):
                          "state": state})
 
     def do_GET(self) -> None:  # noqa: N802 — stdlib hook
+        if not self._faults_ok():
+            return
         path, _, query = self.path.partition("?")
         path = path.rstrip("/") or "/"
         if path == "/healthz":
@@ -160,7 +176,8 @@ class ServeService:
     def __init__(self, db_path, host: str = "127.0.0.1", port: int = 0,
                  workers: int = 1, jobs="auto",
                  result_cache=_DEFAULT_CACHE, batch_limit: int = 16,
-                 poll_s: float = 0.1, max_pending: Optional[int] = None):
+                 poll_s: float = 0.1, max_pending: Optional[int] = None,
+                 lease_s: float = DEFAULT_LEASE_S):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if max_pending is not None and max_pending < 1:
@@ -171,7 +188,7 @@ class ServeService:
         self.scheduler = Scheduler(self.store, jobs=jobs,
                                    result_cache=result_cache,
                                    batch_limit=batch_limit,
-                                   poll_s=poll_s)
+                                   poll_s=poll_s, lease_s=lease_s)
         self.workers = workers
         self.max_pending = max_pending
         self.recovered = self.scheduler.recover()
@@ -309,17 +326,21 @@ def submit_job(base_url: str, request: Dict,
 
 
 def wait_for_job(base_url: str, job_id: int, timeout_s: float = 120.0,
-                 poll_s: float = 0.2) -> Dict:
-    """Poll ``GET /jobs/<id>`` until the job leaves the live states;
-    returns the final job document (state done *or* failed — the
-    caller distinguishes)."""
+                 poll_s: float = 0.2,
+                 request_timeout_s: float = 30.0) -> Dict:
+    """Poll ``GET /jobs/<id>`` until the job reaches a terminal state;
+    returns the final job document (done, failed *or* quarantined —
+    the caller distinguishes). Every poll carries its own socket
+    timeout (``request_timeout_s``), so a wedged server cannot hold
+    the client past ``timeout_s`` + one request."""
     deadline = time.time() + timeout_s
     while True:
-        status, body = http_json("GET", f"{base_url}/jobs/{job_id}")
+        status, body = http_json("GET", f"{base_url}/jobs/{job_id}",
+                                 timeout_s=request_timeout_s)
         if status != 200:
             raise RuntimeError(f"job {job_id} lookup failed "
                                f"({status}): {body.get('error', body)}")
-        if body["state"] in ("done", "failed"):
+        if body["state"] in ("done", "failed", "quarantined"):
             return body
         if time.time() > deadline:
             raise TimeoutError(

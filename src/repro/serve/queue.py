@@ -1,10 +1,12 @@
 """Persistent SQLite-backed job store for the simulation service.
 
-One table, four states::
+One table, five states::
 
     pending --claim--> running --complete--> done
-                          |   \\--fail-----> failed
-                          \\--(crash)--> recover() --> pending or failed
+       ^                  |   \\--fail-----> failed
+       |                  \\--(lease expires)--> sweep_expired()
+       +--(backoff: not_before_s)----/        \\--> quarantined
+                                                   (budget exhausted)
 
 Design constraints (each asserted in ``tests/serve/test_queue.py``):
 
@@ -18,67 +20,105 @@ Design constraints (each asserted in ``tests/serve/test_queue.py``):
   the WHERE clause), so two workers — threads *or* processes — can
   never claim the same job; the claimed rows are then read back by
   token outside any transaction.
-- **Crash recovery** — a worker that dies mid-job leaves its jobs
-  ``running`` with a stale owner. :meth:`JobStore.recover` (run on
-  every service startup) re-queues them — once: ``attempts`` is
-  incremented at claim time, so a job whose attempts already reached
-  ``max_attempts`` moves to ``failed`` instead of crash-looping the
-  scheduler forever.
+- **Leases, not liveness guesses** — every claim carries a time-based
+  lease (``lease_expires_s``); long batches renew it via
+  :meth:`heartbeat`. A worker that *dies* stops renewing; a worker
+  that *hangs* (SIGSTOP, deadlock, runaway loop) also stops renewing —
+  both look identical to :meth:`sweep_expired`, which any process can
+  run at any time: it only ever takes expired leases, so an honest
+  in-flight job (live heartbeat) is never yanked even with multiple
+  worker processes on one DB file.
+- **Backoff + quarantine** — a swept job with attempt budget left goes
+  back to pending gated by ``not_before_s`` (exponential backoff with
+  deterministic jitter, :func:`backoff_s`), so a poison job cannot hog
+  the claim loop; one that already burned ``max_attempts`` moves to
+  the terminal ``quarantined`` state (``repro jobs --quarantined`` is
+  the triage path) instead of crash-looping a worker forever. A clean
+  *execution* error still moves to ``failed`` via :meth:`fail` —
+  ``quarantined`` specifically means "repeatedly took a worker down".
 - **Admission dedupe** — :meth:`JobStore.submit` with a fingerprint of
   an existing live (pending/running) or done job returns that job's id
   with ``deduped=True`` instead of inserting, inside one immediate
   transaction so concurrent duplicate submissions collapse to a single
-  row. Failed jobs never absorb new submissions — resubmitting a
-  failed request is the retry path.
+  row. Failed and quarantined jobs never absorb new submissions —
+  resubmitting is the retry path.
 
 The store object is thread-safe (one connection, one lock); separate
 processes open their own :class:`JobStore` on the same path and
 coordinate through SQLite's own locking (``busy_timeout`` 30 s).
+Databases created before the lease columns existed are migrated in
+place on open (table rebuild: SQLite cannot alter a CHECK constraint).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import sqlite3
 import threading
 import time
 import uuid
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Job", "JobStore", "STATES", "default_db_path"]
+__all__ = ["Job", "JobStore", "STATES", "TERMINAL_STATES",
+           "DEFAULT_LEASE_S", "backoff_s", "default_db_path"]
 
 #: Job lifecycle states (the ``state`` column's whole domain).
-STATES = ("pending", "running", "done", "failed")
+STATES = ("pending", "running", "done", "failed", "quarantined")
+
+#: States no transition ever leaves.
+TERMINAL_STATES = ("done", "failed", "quarantined")
 
 #: Default claim budget: a job is attempted at most twice (one crash
-#: re-queue) before recovery marks it failed.
+#: re-queue) before the sweep quarantines it.
 DEFAULT_MAX_ATTEMPTS = 2
 
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS jobs (
-    id           INTEGER PRIMARY KEY AUTOINCREMENT,
-    fingerprint  TEXT    NOT NULL,
-    request      TEXT    NOT NULL,
-    priority     INTEGER NOT NULL DEFAULT 0,
-    state        TEXT    NOT NULL DEFAULT 'pending'
-                 CHECK (state IN ('pending','running','done','failed')),
-    attempts     INTEGER NOT NULL DEFAULT 0,
-    max_attempts INTEGER NOT NULL DEFAULT 2,
-    owner        TEXT,
-    claim_token  TEXT,
-    result       TEXT,
-    error        TEXT,
-    created_s    REAL    NOT NULL,
-    started_s    REAL,
-    finished_s   REAL
-);
-CREATE INDEX IF NOT EXISTS jobs_by_state
-    ON jobs (state, priority DESC, id ASC);
-CREATE INDEX IF NOT EXISTS jobs_by_fingerprint
-    ON jobs (fingerprint, state);
-"""
+#: Default claim lease. Long batches renew via :meth:`JobStore.heartbeat`
+#: well inside this window; a hung or dead worker loses the job one
+#: lease after its last renewal.
+DEFAULT_LEASE_S = 30.0
+
+#: Re-queue backoff: base * 2^(attempts-1), capped, plus deterministic
+#: jitter (see :func:`backoff_s`).
+DEFAULT_BACKOFF_BASE_S = 0.5
+DEFAULT_BACKOFF_MAX_S = 60.0
+
+_SCHEMA_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS jobs (
+        id             INTEGER PRIMARY KEY AUTOINCREMENT,
+        fingerprint    TEXT    NOT NULL,
+        request        TEXT    NOT NULL,
+        priority       INTEGER NOT NULL DEFAULT 0,
+        state          TEXT    NOT NULL DEFAULT 'pending'
+                       CHECK (state IN ('pending','running','done',
+                                        'failed','quarantined')),
+        attempts       INTEGER NOT NULL DEFAULT 0,
+        max_attempts   INTEGER NOT NULL DEFAULT 2,
+        owner          TEXT,
+        claim_token    TEXT,
+        result         TEXT,
+        error          TEXT,
+        created_s      REAL    NOT NULL,
+        started_s      REAL,
+        finished_s     REAL,
+        lease_expires_s REAL,
+        not_before_s   REAL    NOT NULL DEFAULT 0
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS jobs_by_state"
+    "    ON jobs (state, priority DESC, id ASC)",
+    "CREATE INDEX IF NOT EXISTS jobs_by_fingerprint"
+    "    ON jobs (fingerprint, state)",
+)
+
+# Columns shared by every schema generation, in order — what the
+# migration rebuild copies across.
+_V1_COLUMNS = ("id", "fingerprint", "request", "priority", "state",
+               "attempts", "max_attempts", "owner", "claim_token",
+               "result", "error", "created_s", "started_s", "finished_s")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -98,6 +138,8 @@ class Job:
     created_s: float
     started_s: Optional[float]
     finished_s: Optional[float]
+    lease_expires_s: Optional[float] = None
+    not_before_s: float = 0.0
 
     def to_dict(self) -> Dict:
         return dataclasses.asdict(self)
@@ -110,6 +152,26 @@ def default_db_path() -> str:
         return env
     return os.path.join(os.path.expanduser("~"), ".cache", "repro",
                         "jobs.sqlite3")
+
+
+def backoff_s(attempts: int, job_id: int,
+              base_s: float = DEFAULT_BACKOFF_BASE_S,
+              max_s: float = DEFAULT_BACKOFF_MAX_S) -> float:
+    """Deterministic exponential backoff with jitter for a re-queue.
+
+    ``base * 2^(attempts-1)`` capped at ``max_s``, then stretched by a
+    jitter factor in [1.0, 1.5) derived from ``(job_id, attempts)`` —
+    deterministic (the Hypothesis ordering laws depend on it) yet
+    de-synchronized across jobs, so a burst of lease expiries does not
+    re-arrive as a burst.
+    """
+    if attempts < 1:
+        attempts = 1
+    raw = min(max_s, base_s * (2.0 ** min(attempts - 1, 20)))
+    digest = hashlib.sha256(
+        f"backoff|{job_id}|{attempts}".encode()).digest()
+    jitter = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+    return raw * (1.0 + 0.5 * jitter)
 
 
 def _row_to_job(row: sqlite3.Row) -> Job:
@@ -130,18 +192,28 @@ def _row_to_job(row: sqlite3.Row) -> Job:
         created_s=row["created_s"],
         started_s=row["started_s"],
         finished_s=row["finished_s"],
+        lease_expires_s=row["lease_expires_s"],
+        not_before_s=row["not_before_s"],
     )
 
 
 class JobStore:
     """Thread-safe handle on the persistent queue (see module docs)."""
 
-    def __init__(self, path, max_attempts: int = DEFAULT_MAX_ATTEMPTS):
+    def __init__(self, path, max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+                 backoff_max_s: float = DEFAULT_BACKOFF_MAX_S):
         if max_attempts < 1:
             raise ValueError(
                 f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff_base_s < 0 or backoff_max_s < backoff_base_s:
+            raise ValueError(
+                f"need 0 <= backoff_base_s <= backoff_max_s, got "
+                f"{backoff_base_s}/{backoff_max_s}")
         self.path = str(path)
         self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
         self._lock = threading.Lock()
@@ -155,7 +227,42 @@ class JobStore:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.execute("PRAGMA busy_timeout=30000")
-            self._conn.executescript(_SCHEMA)
+            self._migrate()
+            for statement in _SCHEMA_STATEMENTS:
+                self._conn.execute(statement)
+
+    def _migrate(self) -> None:
+        """Rebuild a pre-lease ``jobs`` table in place.
+
+        The v1 schema (PR 9) lacks the lease columns *and* lists only
+        four states in its CHECK constraint; SQLite cannot alter a
+        CHECK, so the migration is the standard rebuild: copy into a
+        fresh table, drop the old one. Runs under one immediate
+        transaction — a crash mid-migration rolls back to the old
+        table intact.
+        """
+        row = self._conn.execute(
+            "SELECT sql FROM sqlite_master WHERE type = 'table' AND "
+            "name = 'jobs'").fetchone()
+        if row is None or "quarantined" in row["sql"]:
+            return  # fresh database, or already current
+        cols = ", ".join(_V1_COLUMNS)
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.execute("DROP INDEX IF EXISTS jobs_by_state")
+            self._conn.execute("DROP INDEX IF EXISTS jobs_by_fingerprint")
+            self._conn.execute(
+                "ALTER TABLE jobs RENAME TO jobs_migrate_v1")
+            for statement in _SCHEMA_STATEMENTS:
+                self._conn.execute(statement)
+            self._conn.execute(
+                f"INSERT INTO jobs ({cols}) "
+                f"SELECT {cols} FROM jobs_migrate_v1")
+            self._conn.execute("DROP TABLE jobs_migrate_v1")
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
 
     def close(self) -> None:
         with self._lock:
@@ -216,32 +323,59 @@ class JobStore:
     # ------------------------------------------------------------- #
 
     def claim(self, owner: str, limit: int = 1,
-              now: Optional[float] = None) -> List[Job]:
-        """Atomically move up to ``limit`` pending jobs to running.
+              now: Optional[float] = None,
+              lease_s: float = DEFAULT_LEASE_S) -> List[Job]:
+        """Atomically move up to ``limit`` eligible pending jobs to
+        running, each under a ``lease_s``-second lease.
 
-        Claim order is priority DESC then id ASC (FIFO within a
-        priority class). The claim itself is one ``UPDATE`` whose WHERE
-        clause re-checks ``state='pending'``, so a job can only ever be
-        claimed by one worker; ``attempts`` increments here, which is
-        what bounds crash re-queues (see :meth:`recover`).
+        Eligible means ``not_before_s <= now`` — a job in its backoff
+        window is invisible to the claim, so retries of a flaky job
+        cannot starve the rest of the queue. Claim order is priority
+        DESC then id ASC (FIFO within a priority class). The claim
+        itself is one ``UPDATE`` whose WHERE clause re-checks
+        ``state='pending'``, so a job can only ever be claimed by one
+        worker; ``attempts`` increments here, which is what bounds
+        crash re-queues (see :meth:`sweep_expired`).
         """
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be > 0, got {lease_s}")
         now = time.time() if now is None else now
         token = uuid.uuid4().hex
         with self._lock:
             self._conn.execute(
                 "UPDATE jobs SET state = 'running', owner = ?, "
                 "claim_token = ?, attempts = attempts + 1, "
-                "started_s = ? "
+                "started_s = ?, lease_expires_s = ? "
                 "WHERE state = 'pending' AND id IN ("
                 "  SELECT id FROM jobs WHERE state = 'pending' "
+                "  AND not_before_s <= ? "
                 "  ORDER BY priority DESC, id ASC LIMIT ?)",
-                (owner, token, now, limit))
+                (owner, token, now, now + lease_s, now, limit))
             rows = self._conn.execute(
                 "SELECT * FROM jobs WHERE claim_token = ? "
                 "ORDER BY priority DESC, id ASC", (token,)).fetchall()
         return [_row_to_job(row) for row in rows]
+
+    def heartbeat(self, job_ids: List[int],
+                  now: Optional[float] = None,
+                  lease_s: float = DEFAULT_LEASE_S) -> int:
+        """Renew the lease on still-running jobs; returns how many
+        renewed. A job the sweep already took back (the worker was
+        presumed dead/hung) is *not* renewed — the late worker finds
+        out here that it lost the claim.
+        """
+        if not job_ids:
+            return 0
+        now = time.time() if now is None else now
+        marks = ",".join("?" for _ in job_ids)
+        with self._lock:
+            cursor = self._conn.execute(
+                f"UPDATE jobs SET lease_expires_s = ? "
+                f"WHERE state = 'running' AND id IN ({marks})",
+                (now + lease_s, *job_ids))
+        return cursor.rowcount
 
     def complete(self, job_id: int, result: Dict,
                  now: Optional[float] = None) -> None:
@@ -262,7 +396,8 @@ class JobStore:
         with self._lock:
             cursor = self._conn.execute(
                 "UPDATE jobs SET state = ?, result = ?, error = ?, "
-                "claim_token = NULL, finished_s = ? "
+                "claim_token = NULL, lease_expires_s = NULL, "
+                "finished_s = ? "
                 "WHERE id = ? AND state = 'running'",
                 (state, blob, error, now, job_id))
         if cursor.rowcount != 1:
@@ -272,56 +407,85 @@ class JobStore:
     def release(self, job_id: int) -> None:
         """running -> pending (voluntary give-back, e.g. graceful
         shutdown mid-claim). Does not count against ``max_attempts``
-        beyond the claim that already happened."""
+        beyond the claim that already happened, and carries no backoff
+        — the give-back was deliberate, not a failure."""
         with self._lock:
             cursor = self._conn.execute(
                 "UPDATE jobs SET state = 'pending', owner = NULL, "
-                "claim_token = NULL, started_s = NULL "
+                "claim_token = NULL, started_s = NULL, "
+                "lease_expires_s = NULL "
                 "WHERE id = ? AND state = 'running'", (job_id,))
         if cursor.rowcount != 1:
             raise ValueError(f"job {job_id} is not running (release)")
 
     # ------------------------------------------------------------- #
-    # crash recovery
+    # lease sweep (crash + hang recovery)
     # ------------------------------------------------------------- #
 
-    def recover(self, now: Optional[float] = None
-                ) -> Tuple[List[int], List[int]]:
-        """Re-queue jobs a dead worker left ``running``.
+    def sweep_expired(self, now: Optional[float] = None
+                      ) -> Tuple[List[int], List[int]]:
+        """Take back every running job whose lease has expired.
 
-        Returns ``(requeued_ids, failed_ids)``: jobs with attempt
-        budget left go back to pending (each crash consumes the attempt
-        its claim charged, so a job is re-queued at most
-        ``max_attempts - 1`` times); jobs that already burned their
-        budget move to failed with a crash diagnostic. Run this on
-        service startup *before* starting workers — while no claimant
-        is live — so an honest in-flight job is never yanked.
+        Returns ``(requeued_ids, quarantined_ids)``. A dead worker
+        stopped renewing; a *hung* one (SIGSTOP, deadlock) also stopped
+        renewing — the sweep cannot and need not tell them apart. Jobs
+        with attempt budget left go back to pending behind an
+        exponential-backoff gate (``not_before_s``, :func:`backoff_s`);
+        jobs that burned their budget move to the terminal
+        ``quarantined`` state with a diagnostic, for ``repro jobs
+        --quarantined`` triage. Safe to run from any process at any
+        time: an honest in-flight job has a live (renewed) lease and is
+        untouched. Legacy rows with no lease (pre-migration claims)
+        count as expired.
         """
         now = time.time() if now is None else now
         with self._lock:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
-                failed = [row["id"] for row in self._conn.execute(
-                    "SELECT id FROM jobs WHERE state = 'running' AND "
-                    "attempts >= max_attempts ORDER BY id ASC")]
-                self._conn.execute(
-                    "UPDATE jobs SET state = 'failed', "
-                    "error = 'worker died mid-job; attempt budget "
-                    "exhausted', claim_token = NULL, finished_s = ? "
+                expired = self._conn.execute(
+                    "SELECT id, attempts, max_attempts FROM jobs "
                     "WHERE state = 'running' AND "
-                    "attempts >= max_attempts", (now,))
-                requeued = [row["id"] for row in self._conn.execute(
-                    "SELECT id FROM jobs WHERE state = 'running' "
-                    "ORDER BY id ASC")]
-                self._conn.execute(
-                    "UPDATE jobs SET state = 'pending', owner = NULL, "
-                    "claim_token = NULL, started_s = NULL "
-                    "WHERE state = 'running'")
+                    "(lease_expires_s IS NULL OR lease_expires_s <= ?) "
+                    "ORDER BY id ASC", (now,)).fetchall()
+                requeued, quarantined = [], []
+                for row in expired:
+                    if row["attempts"] >= row["max_attempts"]:
+                        quarantined.append(row["id"])
+                        self._conn.execute(
+                            "UPDATE jobs SET state = 'quarantined', "
+                            "error = ?, owner = NULL, claim_token = NULL, "
+                            "lease_expires_s = NULL, finished_s = ? "
+                            "WHERE id = ?",
+                            (f"lease expired on attempt "
+                             f"{row['attempts']}/{row['max_attempts']}; "
+                             f"worker presumed crashed or hung — "
+                             f"quarantined", now, row["id"]))
+                    else:
+                        requeued.append(row["id"])
+                        delay = backoff_s(
+                            row["attempts"], row["id"],
+                            self.backoff_base_s, self.backoff_max_s)
+                        self._conn.execute(
+                            "UPDATE jobs SET state = 'pending', "
+                            "owner = NULL, claim_token = NULL, "
+                            "started_s = NULL, lease_expires_s = NULL, "
+                            "not_before_s = ? WHERE id = ?",
+                            (now + delay, row["id"]))
                 self._conn.execute("COMMIT")
             except BaseException:
                 self._conn.execute("ROLLBACK")
                 raise
-        return requeued, failed
+        return requeued, quarantined
+
+    def recover(self, now: Optional[float] = None
+                ) -> Tuple[List[int], List[int]]:
+        """Startup-time alias for :meth:`sweep_expired`.
+
+        Kept for the PR 9 call sites; since recovery went lease-based
+        it is safe (and now routine — the scheduler loop calls it
+        periodically) to run while other workers are live.
+        """
+        return self.sweep_expired(now=now)
 
     # ------------------------------------------------------------- #
     # introspection

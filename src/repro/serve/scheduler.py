@@ -28,6 +28,19 @@ queue through the experiment engine:
    that fails to parse or simulate fails its job (and its followers)
    with the diagnostic, never the whole pass.
 
+Fault tolerance around the pass:
+
+- every pass first runs the **lease sweep** (rate-limited to
+  ``sweep_every_s``), so one long-lived service takes back jobs from
+  hung *and* crashed peers without a restart — startup recovery is
+  just the first sweep;
+- claimed jobs execute under a **heartbeat**: a daemon thread renews
+  the batch's leases every ``lease_s / 3`` while the engine runs, so a
+  multi-minute functional batch is never mistaken for a hang;
+- the claim step is a :mod:`repro.faults` injection point
+  (``queue_claim``), which the chaos suite uses to prove a failed
+  claim never loses or duplicates work.
+
 Service metrics stream into :mod:`repro.obs.metrics` under the
 ``serve.`` prefix (catalog in that module's docstring); queue-depth
 gauges refresh on every pass and on demand via :meth:`refresh_gauges`.
@@ -40,6 +53,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.obs import logs as obs_logs
 from repro.obs import metrics as obs_metrics
 from repro.serve.jobs import (
@@ -49,7 +63,7 @@ from repro.serve.jobs import (
     parse_request,
     run_requests,
 )
-from repro.serve.queue import Job, JobStore
+from repro.serve.queue import DEFAULT_LEASE_S, Job, JobStore
 
 __all__ = [
     "ParsedJob",
@@ -143,16 +157,61 @@ def assemble_batches(leaders: Sequence[ParsedJob]
     return [batches[tier] for tier in order]
 
 
+class _LeaseHeartbeat:
+    """Renews the leases of in-flight jobs while a batch executes.
+
+    A daemon thread beats every ``lease_s / 3`` (floor 10 ms), so an
+    honestly-working batch always renews well before expiry, while a
+    hung batch (the thread is alive but the *worker pool* is stuck —
+    or the whole process is SIGSTOPped, freezing this thread too)
+    stops renewing and loses the jobs to the sweep. Renewal counts
+    stream to ``serve.lease_renewals``.
+    """
+
+    def __init__(self, store: JobStore, job_ids: List[int],
+                 lease_s: float):
+        self.store = store
+        self.job_ids = job_ids
+        self.lease_s = lease_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="lease-heartbeat", daemon=True)
+
+    def _run(self) -> None:
+        interval = max(self.lease_s / 3.0, 0.01)
+        while not self._stop.wait(interval):
+            try:
+                renewed = self.store.heartbeat(
+                    self.job_ids, lease_s=self.lease_s)
+            except Exception:  # noqa: BLE001 — beat must not kill batch
+                log.exception("lease heartbeat failed; will retry")
+                continue
+            obs_metrics.default_registry().counter(
+                "serve.lease_renewals").inc(renewed)
+
+    def __enter__(self) -> "_LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
 class Scheduler:
     """Drains a :class:`~repro.serve.queue.JobStore` through the
     experiment engine (see module docstring for the pass anatomy)."""
 
     def __init__(self, store: JobStore, jobs="auto",
                  result_cache=_DEFAULT_CACHE, batch_limit: int = 16,
-                 poll_s: float = 0.1, owner: Optional[str] = None):
+                 poll_s: float = 0.1, owner: Optional[str] = None,
+                 lease_s: float = DEFAULT_LEASE_S,
+                 sweep_every_s: Optional[float] = None):
         if batch_limit < 1:
             raise ValueError(
                 f"batch_limit must be >= 1, got {batch_limit}")
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be > 0, got {lease_s}")
         self.store = store
         self.jobs = jobs
         if result_cache is _DEFAULT_CACHE:
@@ -163,20 +222,47 @@ class Scheduler:
         self.batch_limit = batch_limit
         self.poll_s = poll_s
         self.owner = owner or f"scheduler-{os.getpid()}"
+        self.lease_s = lease_s
+        # Sweeping twice per lease keeps worst-case hang detection
+        # latency at ~1.5 leases while staying cheap (one indexed
+        # SELECT per sweep on an idle queue).
+        self.sweep_every_s = (lease_s / 2.0 if sweep_every_s is None
+                              else sweep_every_s)
+        self._last_sweep_mono: Optional[float] = None
 
     # ------------------------------------------------------------- #
 
-    def recover(self) -> Tuple[List[int], List[int]]:
-        """Startup crash recovery (see ``JobStore.recover``)."""
-        requeued, failed = self.store.recover()
+    def sweep(self) -> Tuple[List[int], List[int]]:
+        """Take back expired-lease jobs now (see
+        ``JobStore.sweep_expired``); returns
+        ``(requeued_ids, quarantined_ids)``."""
+        self._last_sweep_mono = time.monotonic()
+        requeued, quarantined = self.store.sweep_expired()
         registry = obs_metrics.default_registry()
         registry.counter("serve.jobs_requeued").inc(len(requeued))
-        registry.counter("serve.jobs_failed").inc(len(failed))
-        if requeued or failed:
-            log.warning("recovery: re-queued %d job(s), failed %d "
-                        "out of attempts", len(requeued), len(failed))
+        registry.counter("serve.jobs_quarantined").inc(len(quarantined))
+        if requeued or quarantined:
+            log.warning("lease sweep: re-queued %d job(s) with backoff, "
+                        "quarantined %d out of attempts",
+                        len(requeued), len(quarantined))
         self.refresh_gauges()
-        return requeued, failed
+        return requeued, quarantined
+
+    def maybe_sweep(self) -> Tuple[List[int], List[int]]:
+        """Rate-limited sweep: runs at most every ``sweep_every_s``
+        seconds; every scheduler pass calls this, which is what makes
+        a single long-lived service self-heal without restart."""
+        now = time.monotonic()
+        if (self._last_sweep_mono is not None
+                and now - self._last_sweep_mono < self.sweep_every_s):
+            return [], []
+        return self.sweep()
+
+    def recover(self) -> Tuple[List[int], List[int]]:
+        """Startup crash recovery — since recovery went lease-based
+        this is just the first sweep (and is safe while peer worker
+        processes are live: their leases are current)."""
+        return self.sweep()
 
     def refresh_gauges(self) -> Dict[str, int]:
         counts = self.store.counts()
@@ -188,10 +274,13 @@ class Scheduler:
     # ------------------------------------------------------------- #
 
     def run_once(self) -> int:
-        """One claim-dedupe-batch-execute pass; returns jobs finished
-        (done + failed, followers included). 0 means the queue had no
-        pending work."""
-        claimed = self.store.claim(self.owner, limit=self.batch_limit)
+        """One sweep-claim-dedupe-batch-execute pass; returns jobs
+        finished (done + failed, followers included). 0 means the queue
+        had no claimable work."""
+        self.maybe_sweep()
+        faults.inject("queue_claim", self.owner)
+        claimed = self.store.claim(self.owner, limit=self.batch_limit,
+                                   lease_s=self.lease_s)
         if not claimed:
             self.refresh_gauges()
             return 0
@@ -219,11 +308,14 @@ class Scheduler:
     def _run_batch(self, batch: List[ParsedJob],
                    followers: Dict[int, List[ParsedJob]]) -> int:
         registry = obs_metrics.default_registry()
+        member_ids = [m.job.id for p in batch
+                      for m in [p] + followers.get(p.job.id, [])]
         now = time.time()
         try:
-            results = run_requests([p.request for p in batch],
-                                   jobs=self.jobs,
-                                   result_cache=self.result_cache)
+            with _LeaseHeartbeat(self.store, member_ids, self.lease_s):
+                results = run_requests([p.request for p in batch],
+                                       jobs=self.jobs,
+                                       result_cache=self.result_cache)
         except Exception as exc:  # noqa: BLE001 — job-level isolation
             log.exception("batch of %d job(s) failed", len(batch))
             finished = 0
@@ -256,13 +348,20 @@ class Scheduler:
         deadline = None if timeout_s is None else time.time() + timeout_s
         finished = 0
         while True:
-            finished += self.run_once()
-            if self.store.counts()["pending"] == 0:
+            progressed = self.run_once()
+            finished += progressed
+            if (self.store.counts()["pending"] == 0
+                    and self.store.counts()["running"] == 0):
                 return finished
             if deadline is not None and time.time() > deadline:
                 raise TimeoutError(
                     f"queue not drained after {timeout_s} s "
                     f"({self.store.counts()['pending']} pending)")
+            if progressed == 0:
+                # Pending-but-unclaimable work (backoff gate or an
+                # expired lease awaiting the next sweep): wait out a
+                # slice of the gate instead of spinning on claims.
+                time.sleep(min(self.poll_s, 0.02))
 
     def run_forever(self, stop: threading.Event) -> None:
         """Poll loop for the service's scheduler thread: busy passes

@@ -13,8 +13,23 @@ directory. Tests that need cache behavior construct explicit
 import os
 import tempfile
 
+import pytest
+
 os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="repro-test-cache-")
+# A REPRO_FAULTS leaking in from the caller's shell would arm fault
+# injection for the entire suite (repro.faults reads it at import).
+os.environ.pop("REPRO_FAULTS", None)
 # REPRO_JOBS is deliberately left alone: `make nightly` exports
 # REPRO_JOBS=0 so the slow functional tier runs on the parallel runner,
 # and results are bit-equal at any worker count — the determinism tests
 # that compare regimes pin their worker counts explicitly.
+
+
+@pytest.fixture(autouse=True)
+def _fault_injection_hygiene():
+    """No test may leave the process-wide fault registry armed — a
+    leaked registry would crash or corrupt every test that follows."""
+    yield
+    from repro import faults
+
+    faults.reset()

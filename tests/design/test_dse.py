@@ -289,3 +289,94 @@ class TestRender:
         shard = run_dse(SMALL, coarse_stride=3, jobs=1, shard=(0, 2))
         text = render_artifact(shard).render()
         assert "partial shard 0/2" in text
+
+
+class TestCheckpointResume:
+    """Crash-safe sweeps: checkpoints are atomic snapshots of the only
+    path-dependent state (evaluations, coarse progress, refine
+    rounds/stable counter), so a resumed run's artifact is identical to
+    an uninterrupted one — from any interruption point."""
+
+    def test_resume_mid_coarse_equals_uninterrupted(self, tmp_path,
+                                                    monkeypatch):
+        import repro.design.dse as dse_mod
+
+        base = run_dse(axes=SMALL, coarse_stride=4)
+        ckpt = tmp_path / "ck.json"
+        real = dse_mod.evaluate_points
+        calls = {"n": 0}
+
+        def bomb(points, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise KeyboardInterrupt   # "SIGKILL" mid-coarse
+            return real(points, **kwargs)
+
+        monkeypatch.setattr(dse_mod, "evaluate_points", bomb)
+        with pytest.raises(KeyboardInterrupt):
+            run_dse(axes=SMALL, coarse_stride=4,
+                    checkpoint=str(ckpt), checkpoint_every=5)
+        monkeypatch.setattr(dse_mod, "evaluate_points", real)
+
+        state = dse_mod.load_checkpoint(ckpt)
+        assert 0 < state["coarse_done"] < len(DSESpace(SMALL).points[::4])
+        resumed = run_dse(resume=str(ckpt))
+        assert _sans_meta(resumed) == _sans_meta(base)
+
+    def test_resume_mid_refine_equals_uninterrupted(self, tmp_path,
+                                                    monkeypatch):
+        import repro.design.dse as dse_mod
+
+        base = run_dse(axes=SMALL, coarse_stride=4)
+        ckpt = tmp_path / "ck.json"
+        coarse_points = len(DSESpace(SMALL).points[::4])
+        real = dse_mod.evaluate_points
+        calls = {"n": 0}
+        import math
+        coarse_calls = math.ceil(coarse_points / 5)
+
+        def bomb(points, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > coarse_calls + 1:   # die in refine round 2
+                raise KeyboardInterrupt
+            return real(points, **kwargs)
+
+        monkeypatch.setattr(dse_mod, "evaluate_points", bomb)
+        try:
+            run_dse(axes=SMALL, coarse_stride=4,
+                    checkpoint=str(ckpt), checkpoint_every=5)
+            interrupted = False
+        except KeyboardInterrupt:
+            interrupted = True
+        monkeypatch.setattr(dse_mod, "evaluate_points", real)
+
+        if interrupted:   # refinement had >= 2 rounds to interrupt
+            state = dse_mod.load_checkpoint(ckpt)
+            assert state["refine"] is not None
+        resumed = run_dse(resume=str(ckpt))
+        assert _sans_meta(resumed) == _sans_meta(base)
+
+    def test_resume_of_finished_checkpoint_is_idempotent(self, tmp_path):
+        ckpt = tmp_path / "ck.json"
+        base = run_dse(axes=SMALL, coarse_stride=4,
+                       checkpoint=str(ckpt))
+        again = run_dse(resume=str(ckpt))
+        assert _sans_meta(again) == _sans_meta(base)
+
+    def test_checkpoint_validation(self, tmp_path):
+        import json
+
+        from repro.design.dse import load_checkpoint
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"artifact": "dse"}))
+        with pytest.raises(ValueError, match="not a DSE checkpoint"):
+            load_checkpoint(bad)
+
+        ckpt = tmp_path / "ck.json"
+        run_dse(axes=SMALL, coarse_stride=8, checkpoint=str(ckpt))
+        data = json.loads(ckpt.read_text())
+        data["space"]["coarse_stride"] = 2   # tampered config
+        ckpt.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="signature"):
+            load_checkpoint(ckpt)

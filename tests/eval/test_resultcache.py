@@ -98,8 +98,10 @@ class TestStore:
         assert cache.stats() == {"entries": 0, "bytes": 0,
                                  "hits": 0, "misses": 0,
                                  "puts": 0, "evictions": 0,
+                                 "corrupt": 0,
                                  "lifetime_hits": 0,
-                                 "lifetime_misses": 0}
+                                 "lifetime_misses": 0,
+                                 "lifetime_corrupt": 0}
 
     def test_size_cap_evicts_oldest(self, cache, tmp_path):
         import os
@@ -219,13 +221,15 @@ class TestLifetimeStats:
         cache.persist_stats()
         cache.clear()
         assert cache.lifetime_stats() == {"hits": 0, "misses": 0,
-                                          "puts": 0, "evictions": 0}
+                                          "puts": 0, "evictions": 0,
+                                          "corrupt": 0}
 
     def test_corrupt_sidecar_reads_as_zero(self, cache):
         cache.path.mkdir(parents=True, exist_ok=True)
         (cache.path / resultcache.STATS_SIDECAR).write_text("{broken")
         assert cache.lifetime_stats() == {"hits": 0, "misses": 0,
-                                          "puts": 0, "evictions": 0}
+                                          "puts": 0, "evictions": 0,
+                                          "corrupt": 0}
         (cache.path / resultcache.STATS_SIDECAR).write_text(
             json.dumps({"hits": -5, "misses": "many"}))
         assert cache.lifetime_stats()["hits"] == 0

@@ -273,3 +273,78 @@ class TestAnalyticTier:
         warm = simulate_layer_tasks(tasks, jobs=1, result_cache=cache)
         assert warm == cold
         assert cache.misses == misses and cache.hits >= 1
+
+
+class TestTaskTimeoutResolution:
+    from repro.eval.runner import _resolve_task_timeout  # noqa: F401
+
+    def test_explicit_wins(self, monkeypatch):
+        from repro.eval.runner import TASK_TIMEOUT_ENV, _resolve_task_timeout
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "7")
+        assert _resolve_task_timeout(2.5) == 2.5
+
+    def test_env_default(self, monkeypatch):
+        from repro.eval.runner import TASK_TIMEOUT_ENV, _resolve_task_timeout
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "30")
+        assert _resolve_task_timeout(None) == 30.0
+        monkeypatch.delenv(TASK_TIMEOUT_ENV)
+        assert _resolve_task_timeout(None) is None
+
+    def test_non_positive_rejected(self, monkeypatch):
+        from repro.eval.runner import TASK_TIMEOUT_ENV, _resolve_task_timeout
+        with pytest.raises(ValueError):
+            _resolve_task_timeout(0)
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "-1")
+        with pytest.raises(ValueError):
+            _resolve_task_timeout(None)
+
+
+class TestGracefulDegradation:
+    """A pool that loses workers (injected crash) or wedges (injected
+    hang + per-task timeout) falls back to the serial path for the
+    unfinished tasks — bit-equal to an all-serial run by construction,
+    with the degradation counted in the metrics registry."""
+
+    def _metrics(self):
+        from repro.obs import metrics as obs_metrics
+        obs_metrics.reset_default_registry()
+        return obs_metrics.default_registry()
+
+    def test_worker_crash_degrades_bit_equal(self):
+        from repro import faults
+        tasks = _tasks([S2TAAW()], ALEXNET.conv_layers[:2])
+        baseline = simulate_layer_tasks(tasks, jobs=1)
+
+        registry = self._metrics()
+        # Worker-only fault: forked pool workers inherit the registry
+        # and die with os._exit; the parent's serial redo is unarmed.
+        faults.configure("worker_crash")
+        try:
+            degraded = simulate_layer_tasks(tasks, jobs=2)
+        finally:
+            faults.reset()
+        assert degraded == baseline
+        assert registry.counter("runner.degraded").value == 1
+        assert registry.counter("runner.retries").value >= 1
+
+    def test_task_hang_degrades_bit_equal(self):
+        from repro import faults
+        tasks = _tasks([S2TAAW()], ALEXNET.conv_layers[:2])
+        baseline = simulate_layer_tasks(tasks, jobs=1)
+
+        registry = self._metrics()
+        faults.configure("task_hang:s=60")
+        try:
+            degraded = simulate_layer_tasks(tasks, jobs=2,
+                                            task_timeout_s=0.5)
+        finally:
+            faults.reset()
+        assert degraded == baseline
+        assert registry.counter("runner.degraded").value == 1
+
+    def test_real_task_exceptions_still_propagate(self):
+        # Degradation is for infrastructure failures only: a genuine
+        # simulation error must not be silently retried serially.
+        bad = LayerSimTask(S2TAAW(), CONV2, seed=0, max_m=-7)
+        with pytest.raises(Exception):
+            simulate_layer_tasks([bad], jobs=2)

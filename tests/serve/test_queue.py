@@ -9,14 +9,24 @@ exactly once under the default budget, then fails).
 
 import os
 import signal
+import sqlite3
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.serve.queue import DEFAULT_MAX_ATTEMPTS, Job, JobStore, STATES
+from repro.serve.queue import (
+    DEFAULT_MAX_ATTEMPTS,
+    Job,
+    JobStore,
+    STATES,
+    backoff_s,
+)
 
 
 REQ = {"model": "lenet5", "accelerator": "s2ta-aw", "tier": "analytic"}
@@ -140,7 +150,7 @@ class TestClaim:
         assert store.get(b).error == "nope"
         counts = store.counts()
         assert counts == {"pending": 0, "running": 0, "done": 1,
-                          "failed": 1}
+                          "failed": 1, "quarantined": 0}
 
     def test_finish_requires_running(self, store):
         job_id, _ = store.submit(REQ, "fp")
@@ -173,24 +183,60 @@ class TestPersistence:
 
 
 class TestRecover:
+    """Recovery is lease-based: a running job whose lease expired (the
+    worker stopped heartbeating — crashed, hung, or SIGKILLed) is swept
+    back to pending with backoff, or quarantined out of attempts."""
+
+    def test_live_lease_is_not_swept(self, store):
+        store.submit(REQ, "fp")
+        store.claim("busy-worker", now=100.0, lease_s=30.0)
+        assert store.sweep_expired(now=120.0) == ([], [])
+        assert store.get(1).state == "running"
+
     def test_requeues_stale_running_once(self, store):
         job_id, _ = store.submit(REQ, "fp")
-        store.claim("dead-worker")
-        requeued, failed = store.recover()
-        assert requeued == [job_id] and failed == []
+        store.claim("dead-worker", now=100.0, lease_s=5.0)
+        requeued, quarantined = store.sweep_expired(now=106.0)
+        assert requeued == [job_id] and quarantined == []
         job = store.get(job_id)
         assert job.state == "pending" and job.owner is None
         assert job.attempts == 1  # the crashed claim stays charged
+        assert job.not_before_s > 106.0  # backoff gates the retry
 
-    def test_budget_exhausted_fails(self, store):
+    def test_backoff_gates_the_reclaim(self, store):
         job_id, _ = store.submit(REQ, "fp")
+        store.claim("dead", now=100.0, lease_s=5.0)
+        store.sweep_expired(now=106.0)
+        not_before = store.get(job_id).not_before_s
+        assert store.claim("w2", now=not_before - 0.01) == []
+        assert [j.id for j in store.claim("w2", now=not_before)] \
+            == [job_id]
+
+    def test_heartbeat_extends_the_lease(self, store):
+        job_id, _ = store.submit(REQ, "fp")
+        store.claim("w", now=100.0, lease_s=5.0)
+        assert store.heartbeat([job_id], now=104.0, lease_s=5.0) == 1
+        assert store.sweep_expired(now=106.0) == ([], [])   # renewed
+        assert store.sweep_expired(now=109.5) == ([job_id], [])
+
+    def test_heartbeat_ignores_non_running(self, store):
+        job_id, _ = store.submit(REQ, "fp")
+        assert store.heartbeat([job_id], now=100.0) == 0
+
+    def test_budget_exhausted_quarantines(self, store):
+        job_id, _ = store.submit(REQ, "fp")
+        now = 100.0
         for _ in range(DEFAULT_MAX_ATTEMPTS):
-            assert store.claim("dead")  # crash-loop: claim, die
-            requeued, failed = store.recover()
-        assert requeued == [] and failed == [job_id]
+            now += 1000.0  # far past any backoff gate
+            assert store.claim("dead", now=now, lease_s=5.0)
+            requeued, quarantined = store.sweep_expired(now=now + 10.0)
+        assert requeued == [] and quarantined == [job_id]
         job = store.get(job_id)
-        assert job.state == "failed"
-        assert "attempt budget" in job.error
+        assert job.state == "quarantined"
+        assert "lease expired" in job.error
+        # Quarantine is terminal: never claimed, never swept again.
+        assert store.claim("w", now=now + 2000.0) == []
+        assert store.sweep_expired(now=now + 2000.0) == ([], [])
 
     def test_noop_on_clean_store(self, store):
         store.submit(REQ, "fp")
@@ -198,12 +244,12 @@ class TestRecover:
 
     def test_untouched_states_survive(self, store):
         done_id, _ = store.submit(REQ, "fp-done")
-        store.claim("w")
+        store.claim("w", now=100.0, lease_s=5.0)
         store.complete(done_id, {})
         pend_id, _ = store.submit(REQ, "fp-pend")
         run_id, _ = store.submit(REQ, "fp-run")
-        store.claim("dead")
-        store.recover()
+        store.claim("dead", now=100.0, lease_s=5.0)
+        store.sweep_expired(now=200.0)
         assert store.get(done_id).state == "done"
         assert store.get(pend_id).state == "pending"
         assert store.get(run_id).state == "pending"
@@ -245,15 +291,16 @@ class TestSigkillWorker:
         "import sys, time\n"
         "from repro.serve.queue import JobStore\n"
         "store = JobStore(sys.argv[1])\n"
-        "claimed = store.claim('doomed-worker', limit=1)\n"
+        "claimed = store.claim('doomed-worker', limit=1,\n"
+        "                      now=float(sys.argv[2]), lease_s=5.0)\n"
         "assert claimed, 'nothing to claim'\n"
         "print('claimed', claimed[0].id, flush=True)\n"
         "time.sleep(120)\n"  # simulated mid-job work; killed long before
     )
 
-    def _claim_and_kill(self, db_path):
+    def _claim_and_kill(self, db_path, now):
         proc = subprocess.Popen(
-            [sys.executable, "-c", self.WORKER, str(db_path)],
+            [sys.executable, "-c", self.WORKER, str(db_path), str(now)],
             stdout=subprocess.PIPE, text=True, env=_child_env())
         try:
             line = proc.stdout.readline()  # blocks until the claim landed
@@ -263,24 +310,181 @@ class TestSigkillWorker:
             proc.wait(timeout=30)
         assert proc.returncode == -signal.SIGKILL
 
-    def test_sigkill_mid_job_requeued_once_then_failed(self, store):
+    def test_sigkill_mid_job_requeued_once_then_quarantined(self, store):
         job_id, _ = store.submit(REQ, "fp")
 
-        # Crash 1: claim charged, job comes back exactly once.
-        self._claim_and_kill(store.path)
+        # Crash 1: claim charged; once the lease runs out the job comes
+        # back exactly once. (Forged clocks keep it deterministic — the
+        # SIGKILLed worker can never heartbeat either way.)
+        self._claim_and_kill(store.path, now=1e6)
         assert store.get(job_id).state == "running"  # stale, no owner alive
-        requeued, failed = store.recover()
-        assert requeued == [job_id] and failed == []
+        requeued, quarantined = store.recover(now=1e6 + 10.0)
+        assert requeued == [job_id] and quarantined == []
         assert store.get(job_id).attempts == 1
         assert store.integrity_check() == "ok"
 
         # Recovery is idempotent — nothing left running to re-queue.
-        assert store.recover() == ([], [])
+        assert store.recover(now=1e6 + 10.0) == ([], [])
 
-        # Crash 2: budget (default 2 attempts) is gone -> failed, not a
-        # crash loop.
-        self._claim_and_kill(store.path)
-        requeued, failed = store.recover()
-        assert requeued == [] and failed == [job_id]
-        assert store.get(job_id).state == "failed"
+        # Crash 2: budget (default 2 attempts) is gone -> quarantined,
+        # not a crash loop.
+        self._claim_and_kill(store.path, now=2e6)
+        requeued, quarantined = store.recover(now=2e6 + 10.0)
+        assert requeued == [] and quarantined == [job_id]
+        assert store.get(job_id).state == "quarantined"
         assert store.integrity_check() == "ok"
+
+
+class TestBackoff:
+    def test_deterministic_exponential_with_jitter(self):
+        vals = [backoff_s(a, job_id=7) for a in (1, 2, 3)]
+        assert vals == [backoff_s(a, job_id=7) for a in (1, 2, 3)]
+        for attempts, val in zip((1, 2, 3), vals):
+            raw = 0.5 * 2 ** (attempts - 1)
+            assert raw <= val < raw * 1.5
+        # Jitter de-synchronizes jobs expiring in the same sweep.
+        assert backoff_s(1, job_id=7) != backoff_s(1, job_id=8)
+
+    def test_capped(self):
+        assert backoff_s(50, job_id=1) < 60.0 * 1.5
+        assert backoff_s(0, job_id=1) == backoff_s(1, job_id=1)
+
+
+class TestTransitionProperties:
+    """Hypothesis laws for the lease/backoff/quarantine machinery: a
+    crash-loop scenario replays bit-identically (claims, sweeps and
+    final states are a pure function of the submissions), never drops
+    or duplicates a fingerprint, and claims keep the queue's total
+    (priority DESC, id ASC) order at every pass."""
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 3),                       # priority
+                  st.integers(0, DEFAULT_MAX_ATTEMPTS)),   # crashes
+        min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_crash_loop_replay(self, jobs_spec):
+        def scenario():
+            with tempfile.TemporaryDirectory() as tmp:
+                with JobStore(os.path.join(tmp, "q.sqlite3")) as store:
+                    for i, (prio, _) in enumerate(jobs_spec):
+                        store.submit(REQ, f"fp-{i}", priority=prio)
+                    crashes_left = {i + 1: n
+                                    for i, (_, n) in enumerate(jobs_spec)}
+                    trace, now = [], 1000.0
+                    for _ in range(DEFAULT_MAX_ATTEMPTS + 1):
+                        now += 1000.0  # far past every backoff gate
+                        claimed = store.claim("w", limit=99, now=now,
+                                              lease_s=5.0)
+                        trace.append(tuple(j.id for j in claimed))
+                        for job in claimed:
+                            if crashes_left[job.id] > 0:
+                                crashes_left[job.id] -= 1  # die holding it
+                            else:
+                                store.complete(job.id, {"ok": job.id})
+                        trace.append(store.sweep_expired(now=now + 10.0))
+                    jobs = store.list_jobs(limit=100)
+                    return (trace,
+                            sorted(j.fingerprint for j in jobs),
+                            {j.id: j.state for j in jobs})
+
+        trace, fingerprints, states = scenario()
+        assert (trace, fingerprints, states) == scenario()  # replay law
+        # Nothing dropped, nothing duplicated.
+        assert fingerprints == sorted(
+            f"fp-{i}" for i in range(len(jobs_spec)))
+        # Terminal state follows the crash budget exactly.
+        for i, (_, crashes) in enumerate(jobs_spec):
+            expected = ("done" if crashes < DEFAULT_MAX_ATTEMPTS
+                        else "quarantined")
+            assert states[i + 1] == expected
+        # Every claim pass preserves the total deterministic order.
+        prio = {i + 1: p for i, (p, _) in enumerate(jobs_spec)}
+        for entry in trace[::2]:
+            assert list(entry) == sorted(entry,
+                                         key=lambda i: (-prio[i], i))
+
+
+_V1_SCHEMA = """
+CREATE TABLE jobs (
+    id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    fingerprint    TEXT    NOT NULL,
+    request        TEXT    NOT NULL,
+    priority       INTEGER NOT NULL DEFAULT 0,
+    state          TEXT    NOT NULL DEFAULT 'pending'
+        CHECK (state IN ('pending', 'running', 'done', 'failed')),
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    max_attempts   INTEGER NOT NULL DEFAULT 2,
+    owner          TEXT,
+    claim_token    TEXT,
+    result         TEXT,
+    error          TEXT,
+    created_s      REAL    NOT NULL,
+    started_s      REAL,
+    finished_s     REAL
+);
+CREATE INDEX jobs_by_state ON jobs (state, priority DESC, id);
+CREATE INDEX jobs_by_fingerprint ON jobs (fingerprint, state);
+"""
+
+
+class TestMigration:
+    """Opening a pre-lease (PR 9) database rebuilds the table in place:
+    rows survive verbatim, the new lease columns appear, and a legacy
+    running row (NULL lease) counts as expired on the first sweep."""
+
+    def _v1_db(self, tmp_path):
+        path = tmp_path / "v1.sqlite3"
+        conn = sqlite3.connect(path)
+        conn.executescript(_V1_SCHEMA)
+        conn.execute(
+            "INSERT INTO jobs (fingerprint, request, priority, state,"
+            " attempts, owner, created_s, started_s) VALUES"
+            " ('fp-run', '{\"model\": \"lenet5\"}', 2, 'running', 1,"
+            "  'w-old', 100.0, 101.0)")
+        conn.execute(
+            "INSERT INTO jobs (fingerprint, request, state, created_s)"
+            " VALUES ('fp-pend', '{\"model\": \"lenet5\"}', 'pending',"
+            " 102.0)")
+        conn.commit()
+        conn.close()
+        return path
+
+    def test_rows_survive_and_leases_appear(self, tmp_path):
+        path = self._v1_db(tmp_path)
+        with JobStore(path) as store:
+            running = store.get(1)
+            assert running.state == "running"
+            assert running.priority == 2 and running.attempts == 1
+            assert running.lease_expires_s is None
+            assert running.not_before_s == 0.0
+            assert store.get(2).state == "pending"
+            assert store.integrity_check() == "ok"
+
+    def test_legacy_running_row_sweeps_as_expired(self, tmp_path):
+        path = self._v1_db(tmp_path)
+        with JobStore(path) as store:
+            requeued, quarantined = store.sweep_expired(now=200.0)
+            assert requeued == [1] and quarantined == []
+            assert store.get(1).state == "pending"
+
+    def test_migrated_store_accepts_quarantine(self, tmp_path):
+        path = self._v1_db(tmp_path)
+        with JobStore(path, max_attempts=1) as store:
+            job_id, _ = store.submit(REQ, "fp-new", max_attempts=1)
+            store.claim("w", now=300.0, lease_s=5.0)
+            # claims FIFO: id 2 (pending, prio 0) vs new job... claim
+            # takes the highest (priority DESC, id ASC) single job.
+            store.sweep_expired(now=400.0)
+            assert store.counts()["quarantined"] >= 0  # no CHECK abort
+
+    def test_migration_is_idempotent(self, tmp_path):
+        path = self._v1_db(tmp_path)
+        with JobStore(path) as store:
+            store.submit(REQ, "fp-x")
+        with JobStore(path) as store:   # second open: no rebuild
+            assert store.get(1).fingerprint == "fp-run"
+            assert store.integrity_check() == "ok"
+            # both indexes came back with the rebuilt table
+            names = {r[0] for r in store._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='index'")}
+            assert {"jobs_by_state", "jobs_by_fingerprint"} <= names

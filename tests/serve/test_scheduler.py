@@ -12,6 +12,7 @@ import os
 import signal
 import subprocess
 import sys
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -251,10 +252,11 @@ class TestSchedulerPass:
     def test_recover_reports_metrics(self, store):
         obs_metrics.reset_default_registry()
         job_id, _ = _submit(store, ANALYTIC)
-        store.claim("dead-worker")
+        # A claim whose (forged) lease is long expired by real now.
+        store.claim("dead-worker", now=0.0, lease_s=1.0)
         scheduler = Scheduler(store, jobs=1, result_cache=None)
-        requeued, failed = scheduler.recover()
-        assert requeued == [job_id] and failed == []
+        requeued, quarantined = scheduler.recover()
+        assert requeued == [job_id] and quarantined == []
         registry = obs_metrics.default_registry()
         assert registry.counter("serve.jobs_requeued").value == 1
         assert registry.gauge("serve.queue_depth").value == 1
@@ -280,7 +282,8 @@ class TestWorkerCrashRecovery:
         "store = JobStore(sys.argv[1])\n"
         "sched = Scheduler(store, jobs=1, result_cache=None,\n"
         "                  owner='doomed')\n"
-        "claimed = sched.store.claim(sched.owner, limit=1)\n"
+        "claimed = sched.store.claim(sched.owner, limit=1,\n"
+        "                            lease_s=0.3)\n"
         "assert claimed, 'nothing to claim'\n"
         "print('claimed', claimed[0].id, flush=True)\n"
         "time.sleep(120)\n"  # 'mid-job'; SIGKILLed long before
@@ -299,14 +302,69 @@ class TestWorkerCrashRecovery:
             proc.wait(timeout=30)
         assert proc.returncode == -signal.SIGKILL
 
-        # A fresh scheduler (the restarted service) recovers the orphan
-        # exactly once and runs it to completion.
+        # A fresh scheduler (the restarted service) sweeps the orphan
+        # back once its (short) lease runs out, and runs it to
+        # completion — the backoff gate only delays the retry.
+        time.sleep(0.4)  # let the dead worker's 0.3 s lease expire
         scheduler = Scheduler(store, jobs=1, result_cache=None)
-        requeued, failed = scheduler.recover()
-        assert requeued == [job_id] and failed == []
+        requeued, quarantined = scheduler.recover()
+        assert requeued == [job_id] and quarantined == []
         assert scheduler.recover() == ([], [])  # exactly once
         scheduler.drain(timeout_s=120)
         job = store.get(job_id)
         assert job.state == "done"
         assert job.result["schema"] == "repro.serve.result/v1"
+        assert store.integrity_check() == "ok"
+
+
+class TestHungWorkerRecovery:
+    """SIGSTOP (not kill) a worker process mid-job: the process is
+    alive but hung, so it stops heartbeating, its lease runs out, and
+    the sweep hands the job to someone else — who produces a result
+    bit-equal to an undisturbed run. The stopped process is SIGKILLed
+    at the end (cleanup), proving recovery never depended on it."""
+
+    WORKER = (
+        "import sys, time\n"
+        "from repro.serve.queue import JobStore\n"
+        "store = JobStore(sys.argv[1])\n"
+        "claimed = store.claim('hung-worker', limit=1, lease_s=0.3)\n"
+        "assert claimed, 'nothing to claim'\n"
+        "print('claimed', claimed[0].id, flush=True)\n"
+        "time.sleep(120)\n"  # stand-in for the wedged simulation
+    )
+
+    def test_sigstop_worker_job_retried_bit_equal(self, store, tmp_path):
+        job_id, _ = _submit(store, ANALYTIC)
+
+        # Undisturbed baseline of the identical request, out of band.
+        with JobStore(tmp_path / "baseline.sqlite3") as clean:
+            base_id, _ = _submit(clean, ANALYTIC)
+            Scheduler(clean, jobs=1, result_cache=None).drain(
+                timeout_s=120)
+            baseline = clean.get(base_id).result
+
+        proc = subprocess.Popen(
+            [sys.executable, "-c", self.WORKER, store.path],
+            stdout=subprocess.PIPE, text=True, env=_child_env())
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("claimed"), line
+            proc.send_signal(signal.SIGSTOP)   # hung, not dead
+            time.sleep(0.4)                    # its 0.3 s lease expires
+
+            scheduler = Scheduler(store, jobs=1, result_cache=None)
+            requeued, quarantined = scheduler.recover()
+            assert requeued == [job_id] and quarantined == []
+            scheduler.drain(timeout_s=120)
+        finally:
+            proc.send_signal(signal.SIGCONT)
+            proc.kill()
+            proc.wait(timeout=30)
+
+        job = store.get(job_id)
+        assert job.state == "done"
+        assert job.attempts == 2              # hung claim stays charged
+        assert job.result == baseline         # bit-equal retry
+        assert store.counts()["running"] == 0  # nothing left hung
         assert store.integrity_check() == "ok"

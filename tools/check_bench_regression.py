@@ -19,6 +19,9 @@ Throughput metric per benchmark, in order of preference:
 - ``extra_info.jobs_per_s`` (the serve benchmarks record queue jobs
   completed per wall-clock second, HTTP admission included — higher is
   better), else
+- ``extra_info.guards_per_s`` (the fault-injection-overhead benchmarks
+  record disabled ``faults.inject`` guards per second — higher is
+  better), else
 - ``1 / extra_info.wallclock_s`` (the experiment-wallclock benchmarks
   record end-to-end seconds per experiment run — lower is better, so
   the gate diffs the inverse), else
@@ -156,6 +159,9 @@ def throughput_of(record: dict) -> Optional[Tuple[float, str]]:
     jobs = extra.get("jobs_per_s")
     if isinstance(jobs, (int, float)) and jobs > 0:
         return float(jobs), "jobs/s"
+    guards = extra.get("guards_per_s")
+    if isinstance(guards, (int, float)) and guards > 0:
+        return float(guards), "guards/s"
     wallclock = extra.get("wallclock_s")
     if isinstance(wallclock, (int, float)) and wallclock > 0:
         return 1.0 / float(wallclock), "runs/s (wall-clock)"
